@@ -1,0 +1,161 @@
+// Package hiway's top-level benchmarks regenerate each table and figure of
+// the paper's evaluation (§4). One benchmark iteration executes the whole
+// experiment at reduced repetition counts; run cmd/hiway-bench for the
+// full-size versions and the rendered tables.
+package hiway_test
+
+import (
+	"testing"
+
+	"hiway/internal/experiments"
+)
+
+// BenchmarkTable1 renders the experiment overview (trivially cheap; kept so
+// every table has a bench target).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.RenderTable1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4: SNV calling, Hi-WAY vs Tez, 72–576
+// containers on the 24-node cluster.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(experiments.Fig4Options{Runs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.HiWayMin, "hiway-576c-min")
+		b.ReportMetric(last.TezMin, "tez-576c-min")
+	}
+}
+
+// BenchmarkTable2Fig5 regenerates Table 2 / Fig. 5: weak scaling from 1 to
+// 128 workers with the data volume doubling alongside.
+func BenchmarkTable2Fig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(experiments.Table2Options{Runs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.AvgMin, "runtime-128w-min")
+		b.ReportMetric(last.CostPerGB, "cost-per-GB-usd")
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: master/worker resource utilization
+// while scaling out.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(experiments.Table2Options{Runs: 1, Workers: []int{1, 16, 128}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1].Util
+		b.ReportMetric(last.HadoopCPULoad, "hadoop-cpu-load")
+		b.ReportMetric(last.WorkerCPULoad, "worker-cpu-load")
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: TRAPLINE on Hi-WAY vs Galaxy CloudMan,
+// clusters of 1–6 c3.2xlarge nodes.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(experiments.Fig8Options{Runs: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.HiWayMin, "hiway-6n-min")
+		b.ReportMetric(last.CloudManMin, "cloudman-6n-min")
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9: Montage under HEFT with growing
+// provenance vs the FCFS baseline on the heterogeneous cluster.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(experiments.Fig9Options{Reps: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FCFSMedianSec, "fcfs-median-s")
+		b.ReportMetric(res.Points[0].MedianSec, "heft-0prior-s")
+		b.ReportMetric(res.Points[len(res.Points)-1].MedianSec, "heft-converged-s")
+	}
+}
+
+// --- Ablations of the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationSchedulers compares all four policies (plus the dynamic
+// adaptive-greedy extension) with warm provenance on the heterogeneous
+// cluster.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SchedulerAblation(4, 12, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.MedianSec, r.Policy+"-median-s")
+		}
+	}
+}
+
+// BenchmarkAblationReplication varies the HDFS replication factor under
+// data-aware scheduling (the locality/write-traffic trade-off of Fig. 4).
+func BenchmarkAblationReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ReplicationAblation(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.MakespanMin, "repl"+string(rune('0'+r.Replication))+"-min")
+		}
+	}
+}
+
+// BenchmarkAblationEstimatePolicy contrasts the paper's latest-observation
+// zero-default estimates with a non-exploring mean fallback.
+func BenchmarkAblationEstimatePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.EstimateAblation(4, 8, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ZeroDefaultMedianSec[7], "zero-default-run8-s")
+		b.ReportMetric(res.MeanFallbackMedianSec[7], "mean-fallback-run8-s")
+	}
+}
+
+// BenchmarkAblationMultiAM measures §3.1's one-AM-per-workflow design:
+// concurrent multi-tenant execution vs serializing workflows.
+func BenchmarkAblationMultiAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiAMAblation(4, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ConcurrentMin, "concurrent-min")
+		b.ReportMetric(res.SerialMin, "serial-min")
+	}
+}
+
+// BenchmarkAblationContainerSizing measures §5's future-work mode:
+// task-tailored containers vs the uniform configuration.
+func BenchmarkAblationContainerSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ContainerSizingAblation(17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.UniformMin, "uniform-min")
+		b.ReportMetric(res.TailoredMin, "tailored-min")
+	}
+}

@@ -1,0 +1,100 @@
+// Command hiway-bench regenerates the tables and figures of the paper's
+// evaluation section (§4) on the simulated substrate and prints them as
+// text tables.
+//
+// Usage:
+//
+//	hiway-bench [-exp table1|fig4|table2|fig5|fig6|fig8|fig9|all] [-quick]
+//
+// -quick shrinks repetition counts so the full set finishes in seconds;
+// without it the experiments run at the paper's sizes (e.g. Fig. 9's 80
+// repetitions of 21 workflow executions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hiway/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig4, table2, fig5, fig6, fig8, fig9, all")
+	quick := flag.Bool("quick", false, "run reduced repetition counts")
+	flag.Parse()
+
+	selected := strings.ToLower(*exp)
+	want := func(name string) bool { return selected == "all" || selected == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Println(experiments.RenderTable1())
+		fmt.Println()
+	}
+	if want("fig4") {
+		ran = true
+		opt := experiments.Fig4Options{}
+		if *quick {
+			opt.Runs = 1
+		}
+		res, err := experiments.Fig4(opt)
+		exitOn(err)
+		fmt.Println(res.Render())
+		fmt.Println()
+	}
+	if want("table2") || want("fig5") || want("fig6") {
+		ran = true
+		opt := experiments.Table2Options{}
+		if *quick {
+			opt.Runs = 1
+			opt.Workers = []int{1, 2, 4, 8, 16, 32, 64, 128}
+		}
+		res, err := experiments.Table2(opt)
+		exitOn(err)
+		if want("table2") || want("fig5") {
+			fmt.Println(res.Render())
+			fmt.Println()
+		}
+		if want("fig6") {
+			fmt.Println(res.RenderFig6())
+			fmt.Println()
+		}
+	}
+	if want("fig8") {
+		ran = true
+		opt := experiments.Fig8Options{}
+		if *quick {
+			opt.Runs = 2
+		}
+		res, err := experiments.Fig8(opt)
+		exitOn(err)
+		fmt.Println(res.Render())
+		fmt.Println()
+	}
+	if want("fig9") {
+		ran = true
+		opt := experiments.Fig9Options{}
+		if *quick {
+			opt.Reps = 10
+		}
+		res, err := experiments.Fig9(opt)
+		exitOn(err)
+		fmt.Println(res.Render())
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiway-bench:", err)
+		os.Exit(1)
+	}
+}

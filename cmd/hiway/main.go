@@ -1,0 +1,375 @@
+// Command hiway is the client for submitting scientific workflows, the
+// analogue of the paper's light-weight client program (§3.1). It executes a
+// workflow written in any supported language (Cuneiform, Pegasus DAX,
+// Galaxy, or a Hi-WAY provenance trace) either with real processes on the
+// local machine or on a simulated YARN cluster.
+//
+// Usage:
+//
+//	hiway local -w wf.cf [-workdir DIR] [-workers N] [-bind name=path]
+//	hiway sim   -w wf.cf [-nodes N] [-policy fcfs|dataaware|roundrobin|heft]
+//	            [-input path=sizeMB ...] [-bind name=path] [-trace out.jsonl]
+//
+// The language is detected from the file extension (.cf/.cuneiform, .dax/
+// .xml, .ga [Galaxy JSON], .jsonl/.trace) and can be forced with -lang.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hiway/internal/cluster"
+	"hiway/internal/core"
+	"hiway/internal/hdfs"
+	"hiway/internal/lang/cuneiform"
+	"hiway/internal/lang/dax"
+	"hiway/internal/lang/galaxy"
+	"hiway/internal/lang/trace"
+	"hiway/internal/localexec"
+	"hiway/internal/provdb"
+	"hiway/internal/provenance"
+	"hiway/internal/recipes"
+	"hiway/internal/scheduler"
+	"hiway/internal/wf"
+	"hiway/internal/yarn"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "local":
+		err = runLocal(os.Args[2:])
+	case "sim":
+		err = runSim(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "prov":
+		err = runProv(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hiway: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiway:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `hiway — scientific workflow execution engine
+
+  hiway local -w WORKFLOW [-workdir DIR] [-workers N] [-lang L] [-bind name=path ...]
+      run the workflow with real processes on this machine
+
+  hiway sim -w WORKFLOW [-nodes N] [-policy P] [-lang L]
+            [-input path=sizeMB ...] [-bind name=path ...] [-trace FILE]
+            [-gantt] [-timeline FILE.csv]
+      run the workflow on a simulated YARN cluster
+
+  hiway inspect -w WORKFLOW [-lang L] [-bind name=path ...]
+      analyze a static workflow's structure without running it
+
+  hiway prov (-trace FILE.jsonl | -db FILE.db)
+      query a provenance store: workflow, task, and node summaries
+
+Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), trace (.jsonl)
+Scheduling policies: fcfs, dataaware (default), roundrobin, heft, adaptive
+`)
+}
+
+// multiFlag collects repeated -input / -bind flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// detectLang maps a file name to a language.
+func detectLang(path, forced string) string {
+	if forced != "" {
+		return forced
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".cf", ".cuneiform":
+		return "cuneiform"
+	case ".dax", ".xml":
+		return "dax"
+	case ".ga":
+		return "galaxy"
+	case ".jsonl", ".trace":
+		return "trace"
+	default:
+		return "cuneiform"
+	}
+}
+
+// buildDriver parses the workflow into the right frontend.
+func buildDriver(path, lang string, binds map[string]string) (wf.Driver, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch lang {
+	case "cuneiform":
+		return cuneiform.NewDriver(name, string(src)), nil
+	case "dax":
+		return dax.NewDriver(name, string(src), dax.Options{}), nil
+	case "galaxy":
+		return galaxy.NewDriver(name, string(src), galaxy.Options{Inputs: binds}), nil
+	case "trace":
+		return trace.NewDriver(name, string(src)), nil
+	default:
+		return nil, fmt.Errorf("unknown language %q", lang)
+	}
+}
+
+func parseBinds(pairs []string) (map[string]string, error) {
+	out := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -bind %q (want name=path)", p)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func runLocal(args []string) error {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	wfPath := fs.String("w", "", "workflow file (required)")
+	workdir := fs.String("workdir", "", "staging directory (default: temp dir)")
+	workers := fs.Int("workers", 0, "parallel tasks (default: CPUs)")
+	lang := fs.String("lang", "", "force workflow language")
+	var binds multiFlag
+	fs.Var(&binds, "bind", "bind a Galaxy input: name=path (repeatable)")
+	fs.Parse(args)
+	if *wfPath == "" {
+		return fmt.Errorf("missing -w workflow file")
+	}
+	bindMap, err := parseBinds(binds)
+	if err != nil {
+		return err
+	}
+	driver, err := buildDriver(*wfPath, detectLang(*wfPath, *lang), bindMap)
+	if err != nil {
+		return err
+	}
+	dir := *workdir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "hiway-local")
+		if err != nil {
+			return err
+		}
+	}
+	rep, err := localexec.Run(driver, localexec.Config{WorkDir: dir, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow %s finished in %.2fs (%d tasks)\n", rep.WorkflowName, rep.MakespanSec, len(rep.Results))
+	for _, out := range rep.Outputs {
+		fmt.Println("output:", out)
+	}
+	return nil
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	wfPath := fs.String("w", "", "workflow file (required)")
+	nodes := fs.Int("nodes", 8, "number of simulated worker nodes")
+	policy := fs.String("policy", scheduler.PolicyDataAware, "scheduling policy")
+	lang := fs.String("lang", "", "force workflow language")
+	tracePath := fs.String("trace", "", "write the provenance trace (re-executable) to this file")
+	gantt := fs.Bool("gantt", false, "print a per-node text timeline after the run")
+	timelinePath := fs.String("timeline", "", "write the per-task timeline CSV to this file")
+	var inputs, binds multiFlag
+	fs.Var(&inputs, "input", "stage an input file: path=sizeMB (repeatable)")
+	fs.Var(&binds, "bind", "bind a Galaxy input: name=path (repeatable)")
+	fs.Parse(args)
+	if *wfPath == "" {
+		return fmt.Errorf("missing -w workflow file")
+	}
+	bindMap, err := parseBinds(binds)
+	if err != nil {
+		return err
+	}
+	driver, err := buildDriver(*wfPath, detectLang(*wfPath, *lang), bindMap)
+	if err != nil {
+		return err
+	}
+
+	r := &recipes.Recipe{
+		Name:       "hiway-sim",
+		Groups:     []recipes.NodeGroup{{Count: *nodes, Spec: cluster.M3Large()}},
+		SwitchMBps: 2000,
+		HDFS:       hdfs.Config{},
+		YARN:       yarn.Config{},
+		Seed:       1,
+	}
+	eng, env, err := r.Materialize()
+	if err != nil {
+		return err
+	}
+	var store provenance.Store = provenance.NewMemStore()
+	if *tracePath != "" {
+		fstore, err := provenance.OpenFileStore(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer fstore.Close()
+		store = fstore
+	}
+	env.Prov, err = provenance.NewManager(store)
+	if err != nil {
+		return err
+	}
+	for _, in := range inputs {
+		path, szStr, ok := strings.Cut(in, "=")
+		if !ok {
+			return fmt.Errorf("bad -input %q (want path=sizeMB)", in)
+		}
+		sz, err := strconv.ParseFloat(szStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad -input size %q: %v", szStr, err)
+		}
+		if _, err := env.FS.Put(path, sz, ""); err != nil {
+			return err
+		}
+	}
+	sched, err := scheduler.New(*policy, scheduler.Deps{Locality: env.FS, Estimator: env.Prov})
+	if err != nil {
+		return err
+	}
+	rep, err := core.Run(env, driver, sched, core.Config{})
+	if err != nil {
+		return err
+	}
+	_ = eng
+	fmt.Println(rep.Summary())
+	for _, out := range rep.Outputs {
+		fmt.Println("output:", out)
+	}
+	if *gantt {
+		fmt.Print(rep.Gantt(100))
+	}
+	if *timelinePath != "" {
+		if err := os.WriteFile(*timelinePath, []byte(rep.TimelineCSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("timeline:", *timelinePath)
+	}
+	if *tracePath != "" {
+		fmt.Println("provenance trace:", *tracePath)
+	}
+	return nil
+}
+
+// runProv prints summaries over a provenance store — the manual-query
+// capability §3.5 attributes to database-backed provenance.
+func runProv(args []string) error {
+	fs := flag.NewFlagSet("prov", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "JSONL trace file")
+	dbPath := fs.String("db", "", "provdb database file")
+	fs.Parse(args)
+	var store provenance.Store
+	switch {
+	case *tracePath != "" && *dbPath != "":
+		return fmt.Errorf("choose one of -trace or -db")
+	case *tracePath != "":
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		events, err := provenance.ParseTrace(string(data))
+		if err != nil {
+			return err
+		}
+		mem := provenance.NewMemStore()
+		for _, ev := range events {
+			if err := mem.Append(ev); err != nil {
+				return err
+			}
+		}
+		store = mem
+	case *dbPath != "":
+		db, err := provdb.Open(*dbPath)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		store = provenance.NewDBStore(db)
+	default:
+		return fmt.Errorf("missing -trace or -db")
+	}
+
+	wfs, err := provenance.SummarizeWorkflows(store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow runs (%d):\n", len(wfs))
+	for _, w := range wfs {
+		status := "ok"
+		if !w.Succeeded {
+			status = "FAILED"
+		}
+		fmt.Printf("  %-40s %-16s %4d tasks  %8.1fs  %s\n", w.WorkflowID, w.WorkflowName, w.Tasks, w.MakespanSec, status)
+	}
+	tasks, err := provenance.SummarizeTasks(store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntask signatures:\n%s", provenance.RenderTaskSummaries(tasks))
+	nodes, err := provenance.SummarizeNodes(store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nnode usage:\n")
+	for _, n := range nodes {
+		fmt.Printf("  %-12s %4d tasks  busy %9.1fs  mean %7.1fs  failures %d\n",
+			n.Node, n.Tasks, n.BusySec, n.MeanSec, n.Failures)
+	}
+	return nil
+}
+
+// runInspect analyzes a static workflow without executing it.
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	wfPath := fs.String("w", "", "workflow file (required)")
+	lang := fs.String("lang", "", "force workflow language")
+	var binds multiFlag
+	fs.Var(&binds, "bind", "bind a Galaxy input: name=path (repeatable)")
+	fs.Parse(args)
+	if *wfPath == "" {
+		return fmt.Errorf("missing -w workflow file")
+	}
+	bindMap, err := parseBinds(binds)
+	if err != nil {
+		return err
+	}
+	driver, err := buildDriver(*wfPath, detectLang(*wfPath, *lang), bindMap)
+	if err != nil {
+		return err
+	}
+	static, ok := driver.(wf.StaticDriver)
+	if !ok {
+		return fmt.Errorf("inspect needs a static workflow language; %s workflows unfold at run time (§3.3)",
+			detectLang(*wfPath, *lang))
+	}
+	if _, err := static.Parse(); err != nil {
+		return err
+	}
+	fmt.Printf("workflow %s\n", static.Name())
+	fmt.Print(wf.Analyze(static.Graph()).Render())
+	return nil
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hiway/internal/provdb"
+	"hiway/internal/provenance"
+)
+
+func TestDetectLang(t *testing.T) {
+	cases := map[string]string{
+		"wf.cf":        "cuneiform",
+		"wf.cuneiform": "cuneiform",
+		"wf.dax":       "dax",
+		"wf.xml":       "dax",
+		"wf.ga":        "galaxy",
+		"run.jsonl":    "trace",
+		"run.trace":    "trace",
+		"noext":        "cuneiform",
+	}
+	for path, want := range cases {
+		if got := detectLang(path, ""); got != want {
+			t.Errorf("detectLang(%q) = %q, want %q", path, got, want)
+		}
+	}
+	if got := detectLang("wf.cf", "dax"); got != "dax" {
+		t.Errorf("forced language ignored: %q", got)
+	}
+}
+
+func TestParseBinds(t *testing.T) {
+	m, err := parseBinds([]string{"reads=/data/a.fq", "genome=/ref/mm10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["reads"] != "/data/a.fq" || m["genome"] != "/ref/mm10" {
+		t.Fatalf("binds = %v", m)
+	}
+	if _, err := parseBinds([]string{"nope"}); err == nil {
+		t.Fatal("malformed bind accepted")
+	}
+}
+
+func TestBuildDriverLanguages(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cf := write("a.cf", `deftask t( out : ~x ) in bash *{ true }*`+"\n"+`t( x: "1" );`)
+	daxFile := write("a.dax", `<adag name="x"><job id="J" name="t" runtime="1"><uses file="o" link="output"/></job></adag>`)
+	traceFile := write("a.jsonl", `{"type":"task-end","taskId":1,"signature":"t","outputs":[{"path":"o","param":"out"}]}`)
+
+	for _, p := range []string{cf, daxFile, traceFile} {
+		d, err := buildDriver(p, detectLang(p, ""), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if _, err := d.Parse(); err != nil {
+			t.Fatalf("%s parse: %v", p, err)
+		}
+	}
+	if _, err := buildDriver(filepath.Join(dir, "missing.cf"), "cuneiform", nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := buildDriver(cf, "klingon", nil); err == nil {
+		t.Fatal("unknown language accepted")
+	}
+}
+
+func TestRunSimEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "demo.cf")
+	src := `deftask upper( out : inp ) @cpu 2 in bash *{ tr a-z A-Z < $inp > $out }*
+upper( inp: "words.txt" );`
+	if err := os.WriteFile(wfPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.jsonl")
+	err := runSim([]string{"-w", wfPath, "-nodes", "2", "-input", "words.txt=5", "-trace", tracePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The written trace replays.
+	if err := runSim([]string{"-w", tracePath, "-lang", "trace", "-input", "words.txt=5"}); err != nil {
+		t.Fatalf("trace replay: %v", err)
+	}
+	// Error paths.
+	if err := runSim([]string{}); err == nil {
+		t.Fatal("missing -w accepted")
+	}
+	if err := runSim([]string{"-w", wfPath, "-input", "bad"}); err == nil {
+		t.Fatal("malformed -input accepted")
+	}
+	if err := runSim([]string{"-w", wfPath, "-input", "x=notanumber"}); err == nil {
+		t.Fatal("malformed -input size accepted")
+	}
+	if err := runSim([]string{"-w", wfPath, "-policy", "mystery", "-input", "words.txt=5"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunInspect(t *testing.T) {
+	dir := t.TempDir()
+	daxPath := filepath.Join(dir, "wf.dax")
+	src := `<adag name="x">
+  <job id="A" name="first" runtime="10"><uses file="in" link="input"/><uses file="mid" link="output" sizeMB="5"/></job>
+  <job id="B" name="second" runtime="20"><uses file="mid" link="input"/><uses file="out" link="output"/></job>
+</adag>`
+	if err := os.WriteFile(daxPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runInspect([]string{"-w", daxPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Iterative languages cannot be inspected statically.
+	cfPath := filepath.Join(dir, "wf.cf")
+	os.WriteFile(cfPath, []byte(`deftask t( out : ~x ) in bash *{ true }*`+"\n"+`t( x: "1" );`), 0o644)
+	if err := runInspect([]string{"-w", cfPath}); err == nil {
+		t.Fatal("inspecting a Cuneiform workflow must fail")
+	}
+	if err := runInspect([]string{}); err == nil {
+		t.Fatal("missing -w accepted")
+	}
+}
+
+func TestRunSimGanttAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "demo.cf")
+	src := `deftask upper( out : inp ) @cpu 2 in bash *{ x }*
+upper( inp: "words.txt" );`
+	if err := os.WriteFile(wfPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	timeline := filepath.Join(dir, "t.csv")
+	err := runSim([]string{"-w", wfPath, "-input", "words.txt=5", "-gantt", "-timeline", timeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty timeline CSV")
+	}
+}
+
+func TestRunLocalEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "demo.cf")
+	src := `deftask hello( out : ~name ) in bash *{ echo "hi $name" > $out }*
+hello( name: "world" );`
+	if err := os.WriteFile(wfPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	work := filepath.Join(dir, "work")
+	if err := runLocal([]string{"-w", wfPath, "-workdir", work}); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(work, "data", "demo", "hello_*", "out"))
+	if len(matches) != 1 {
+		t.Fatalf("output files = %v", matches)
+	}
+	data, _ := os.ReadFile(matches[0])
+	if string(data) != "hi world\n" {
+		t.Fatalf("output = %q", data)
+	}
+	if err := runLocal([]string{}); err == nil {
+		t.Fatal("missing -w accepted")
+	}
+}
+
+func TestRunProv(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "demo.cf")
+	src := `deftask t( out : ~x ) @cpu 1 in bash *{ y }*
+t( x: "1" );`
+	if err := os.WriteFile(wfPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.jsonl")
+	if err := runSim([]string{"-w", wfPath, "-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runProv([]string{"-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if err := runProv([]string{}); err == nil {
+		t.Fatal("missing source accepted")
+	}
+	if err := runProv([]string{"-trace", tracePath, "-db", "x"}); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if err := runProv([]string{"-trace", filepath.Join(dir, "ghost.jsonl")}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	// provdb-backed path.
+	dbPath := filepath.Join(dir, "prov.db")
+	db, err := provdb.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewDBStore(db)
+	store.Append(provenance.Event{Type: provenance.WorkflowStart, WorkflowID: "w", WorkflowName: "n"})
+	store.Append(provenance.Event{Type: provenance.TaskEnd, WorkflowID: "w", Signature: "s", Node: "n1", DurationSec: 3})
+	store.Append(provenance.Event{Type: provenance.WorkflowEnd, WorkflowID: "w", DurationSec: 4, Succeeded: true})
+	store.Close()
+	if err := runProv([]string{"-db", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+}

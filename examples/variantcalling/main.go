@@ -1,0 +1,79 @@
+// Variant calling at scale: the paper's genomics workload (§4.1) on a
+// simulated 24-node cluster, contrasting Hi-WAY's default data-aware
+// scheduling policy with plain FCFS under a constrained shared switch.
+// Data-aware scheduling assigns the I/O-heavy alignment tasks to nodes
+// that hold an HDFS replica of their input reads, cutting network traffic.
+//
+//	go run ./examples/variantcalling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hiway/internal/cluster"
+	"hiway/internal/core"
+	"hiway/internal/hdfs"
+	"hiway/internal/recipes"
+	"hiway/internal/scheduler"
+	"hiway/internal/workloads"
+	"hiway/internal/yarn"
+)
+
+func run(policy string) (*core.Report, float64) {
+	driver, inputs := workloads.SNV(workloads.SNVConfig{
+		Samples:          6,
+		FilesPerSample:   12,
+		FileSizeMB:       512,
+		CallSplitRegions: 8,
+		AlignCPUSeconds:  400, SortCPUSeconds: 300,
+		CallCPUSeconds: 500, AnnotateCPUSeconds: 300,
+		RefLocal: true,
+	})
+	spec := cluster.XeonE52620()
+	spec.VCores = 8
+	spec.MemMB = 8*1024 + 1024
+	r := &recipes.Recipe{
+		Name:       "snv-" + policy,
+		Groups:     []recipes.NodeGroup{{Count: 12, Spec: spec}},
+		SwitchMBps: 300, // constrained shared switch
+		HDFS:       hdfs.Config{BlockSizeMB: 1024, Replication: 2},
+		YARN:       yarn.Config{},
+		Seed:       11,
+		Inputs:     inputs,
+	}
+	_, env, err := r.Materialize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := scheduler.New(policy, scheduler.Deps{Locality: env.FS, Estimator: env.Prov})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := core.Run(env, driver, sched, core.Config{ContainerVCores: 1, ContainerMemMB: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// How local were the alignment reads?
+	var local float64
+	aligns := 0
+	for _, res := range rep.Results {
+		if res.Task.Name == "bowtie2" {
+			local += env.FS.LocalFraction(res.Task.Inputs, res.Node)
+			aligns++
+		}
+	}
+	return rep, local / float64(aligns)
+}
+
+func main() {
+	fcfs, fcfsLocal := run(scheduler.PolicyFCFS)
+	da, daLocal := run(scheduler.PolicyDataAware)
+
+	fmt.Println("SNV calling, 6 samples × 12 read files, 12 nodes, constrained switch")
+	fmt.Printf("%-12s %10s %14s\n", "policy", "makespan", "local reads")
+	fmt.Printf("%-12s %9.1fm %13.0f%%\n", "fcfs", fcfs.MakespanSec/60, fcfsLocal*100)
+	fmt.Printf("%-12s %9.1fm %13.0f%%\n", "data-aware", da.MakespanSec/60, daLocal*100)
+	fmt.Printf("\ndata-aware scheduling is %.0f%% faster by keeping alignment input local\n",
+		(fcfs.MakespanSec/da.MakespanSec-1)*100)
+}

@@ -1,0 +1,3 @@
+module hiway
+
+go 1.22

@@ -1,0 +1,550 @@
+// Package core implements the Hi-WAY application master (AM): the thin
+// layer between workflow specifications in multiple languages and (here,
+// simulated) Hadoop YARN described in §3 of the paper.
+//
+// One AM instance runs one workflow. Its Workflow Driver loop parses the
+// workflow, requests a worker container for every ready task, lets the
+// Workflow Scheduler pick which task runs in each allocated container, and
+// supervises the container lifecycle: (i) obtain input data from HDFS,
+// (ii) invoke the task, (iii) store outputs in HDFS for downstream tasks
+// possibly running on other nodes. Completed results feed back into the
+// driver, which — for iterative languages — may discover entirely new
+// tasks. Failed tasks are retried on other compute nodes; provenance is
+// emitted at workflow, task, and file granularity.
+package core
+
+import (
+	"fmt"
+
+	"hiway/internal/cluster"
+	"hiway/internal/hdfs"
+	"hiway/internal/provenance"
+	"hiway/internal/scheduler"
+	"hiway/internal/wf"
+	"hiway/internal/yarn"
+)
+
+// Env bundles the platform a workflow executes on.
+type Env struct {
+	Cluster *cluster.Cluster
+	FS      *hdfs.FS
+	RM      *yarn.ResourceManager
+	Prov    *provenance.Manager // optional
+}
+
+// Config tunes one workflow execution.
+type Config struct {
+	// WorkflowID uniquely identifies the run in provenance; derived from
+	// the driver name if empty.
+	WorkflowID string
+
+	// ContainerVCores/ContainerMemMB size the identical worker containers
+	// (the paper's default mode: all containers share one configuration).
+	ContainerVCores int // default 1
+	ContainerMemMB  int // default 1024
+
+	// SizeContainersByTask enables the future-work mode of §5: containers
+	// are custom-tailored to each task's threads and memory demand.
+	SizeContainersByTask bool
+
+	// MaxRetries is how many times a failed task is re-tried on another
+	// node before the workflow fails. Default 3.
+	MaxRetries int
+
+	// AMNode optionally pins the AM container (experiments isolate it on
+	// a master node).
+	AMNode string
+
+	// Behavior computes what a simulated task produces; defaults to the
+	// declared outputs with exit code 0.
+	Behavior wf.Behavior
+
+	// FaultInjector, if set, is consulted per attempt; returning true
+	// makes that attempt fail (the stand-in for real tool crashes).
+	FaultInjector func(t *wf.Task, node string, attempt int) bool
+}
+
+func (c *Config) setDefaults() {
+	if c.ContainerVCores <= 0 {
+		c.ContainerVCores = 1
+	}
+	if c.ContainerMemMB <= 0 {
+		c.ContainerMemMB = 1024
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.Behavior == nil {
+		c.Behavior = wf.DefaultOutcome
+	}
+}
+
+// Report summarizes a finished workflow execution.
+type Report struct {
+	WorkflowID   string
+	WorkflowName string
+	Scheduler    string
+
+	Start, End  float64
+	MakespanSec float64
+	Succeeded   bool
+	Err         error
+
+	Results    []*wf.TaskResult
+	Outputs    []string
+	Retries    int
+	Containers int64 // worker containers allocated for this workflow
+}
+
+// AM is one Hi-WAY application master instance.
+type AM struct {
+	env    Env
+	cfg    Config
+	driver wf.Driver
+	sched  scheduler.Scheduler
+	app    *yarn.Application
+
+	running    map[int64]bool
+	retries    map[int64]int
+	excluded   map[int64]map[string]bool
+	results    []*wf.TaskResult
+	containers int64
+	retriesSum int
+
+	start    float64
+	finished bool
+	report   *Report
+}
+
+// Launch submits a new AM for the driver's workflow and begins execution.
+// The caller advances the simulation engine; once it quiesces (or the
+// workflow finishes) the report is available via Report.
+func Launch(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*AM, error) {
+	cfg.setDefaults()
+	if cfg.WorkflowID == "" {
+		cfg.WorkflowID = fmt.Sprintf("hiway-%s-%d", driver.Name(), wf.NextID())
+	}
+	am := &AM{
+		env:      env,
+		cfg:      cfg,
+		driver:   driver,
+		sched:    sched,
+		running:  make(map[int64]bool),
+		retries:  make(map[int64]int),
+		excluded: make(map[int64]map[string]bool),
+	}
+	app, err := env.RM.SubmitApplication(cfg.WorkflowID, cfg.AMNode)
+	if err != nil {
+		return nil, fmt.Errorf("core: submitting AM: %w", err)
+	}
+	am.app = app
+	am.start = env.Cluster.Engine.Now()
+	am.provWorkflowStart()
+
+	ready, err := driver.Parse()
+	if err != nil {
+		app.Finish()
+		return nil, fmt.Errorf("core: parsing workflow %s: %w", driver.Name(), err)
+	}
+	if planner, ok := sched.(scheduler.StaticPlanner); ok {
+		static, ok := driver.(wf.StaticDriver)
+		if !ok {
+			app.Finish()
+			return nil, fmt.Errorf("core: static policy %q cannot run iterative %s workflows (§3.4)", sched.Name(), driver.Name())
+		}
+		if err := planner.Plan(static.Graph(), am.plannableNodes()); err != nil {
+			app.Finish()
+			return nil, fmt.Errorf("core: planning: %w", err)
+		}
+	}
+	if len(ready) == 0 && driver.Done() {
+		// Degenerate workflow with no work (e.g. mapping over nil).
+		am.finish(nil)
+		return am, nil
+	}
+	if len(ready) == 0 {
+		am.finish(fmt.Errorf("core: workflow %s has no initially ready tasks", driver.Name()))
+		return am, nil
+	}
+	for _, t := range ready {
+		am.submit(t)
+	}
+	return am, nil
+}
+
+// Run launches the workflow and drives the engine until it quiesces,
+// returning the final report. It is the synchronous convenience wrapper
+// around Launch for callers running one workflow at a time.
+func Run(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*Report, error) {
+	am, err := Launch(env, driver, sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	env.Cluster.Engine.Run()
+	return am.Report()
+}
+
+// Report returns the execution report; an error if the workflow has not
+// terminated (the engine quiesced with work outstanding — a deadlock).
+func (am *AM) Report() (*Report, error) {
+	if am.report == nil {
+		return nil, fmt.Errorf("core: workflow %s stalled: %d running, %d queued, %d requests pending, driver done=%v",
+			am.driver.Name(), len(am.running), am.sched.Queued(), am.app.PendingRequests(), am.driver.Done())
+	}
+	if am.report.Err != nil {
+		return am.report, am.report.Err
+	}
+	return am.report, nil
+}
+
+// Finished reports whether the workflow has terminated (either way).
+func (am *AM) Finished() bool { return am.finished }
+
+// CompletedTasks returns the number of successfully completed tasks so far
+// (load models and monitors poll it during execution).
+func (am *AM) CompletedTasks() int { return len(am.results) }
+
+// AMNodeID returns the node hosting the AM container.
+func (am *AM) AMNodeID() string { return am.app.AMContainer.NodeID }
+
+// plannableNodes lists nodes that can host at least one worker container
+// right now — the view a static planner gets.
+func (am *AM) plannableNodes() []scheduler.NodeInfo {
+	var out []scheduler.NodeInfo
+	for _, id := range am.env.RM.LiveNodes() {
+		cores, mem := am.env.RM.FreeCapacity(id)
+		if cores >= am.cfg.ContainerVCores && mem >= am.cfg.ContainerMemMB {
+			out = append(out, scheduler.NodeInfo{ID: id, VCores: cores, MemMB: mem})
+		}
+	}
+	return out
+}
+
+// containerResource sizes the container for a task.
+func (am *AM) containerResource(t *wf.Task) yarn.Resource {
+	if am.cfg.SizeContainersByTask {
+		res := yarn.Resource{VCores: t.Threads, MemMB: t.MemMB}
+		if res.VCores <= 0 {
+			res.VCores = 1
+		}
+		if res.MemMB <= 0 {
+			res.MemMB = am.cfg.ContainerMemMB
+		}
+		return res
+	}
+	return yarn.Resource{VCores: am.cfg.ContainerVCores, MemMB: am.cfg.ContainerMemMB}
+}
+
+// submit registers a ready task with the scheduler and requests a container.
+func (am *AM) submit(t *wf.Task) {
+	if am.finished {
+		return
+	}
+	if err := t.Validate(); err != nil {
+		am.finish(err)
+		return
+	}
+	am.sched.OnTaskReady(t)
+	am.requestContainer(t)
+}
+
+// hintAvoiding picks the live node with the most free cores that is not in
+// the exclusion set — the destination hint for retried tasks.
+func (am *AM) hintAvoiding(excl map[string]bool) string {
+	best, bestCores := "", -1
+	for _, id := range am.env.RM.LiveNodes() {
+		if excl[id] {
+			continue
+		}
+		cores, _ := am.env.RM.FreeCapacity(id)
+		if cores > bestCores {
+			best, bestCores = id, cores
+		}
+	}
+	return best
+}
+
+// requestContainer asks YARN for a container suitable for t. The request is
+// anonymous unless the policy pins tasks or containers are task-sized.
+// Tasks with failed attempts steer their request away from excluded nodes.
+func (am *AM) requestContainer(t *wf.Task) {
+	hint, strict := am.sched.Placement(t)
+	if excl := am.excluded[t.ID]; len(excl) > 0 && !strict {
+		if h := am.hintAvoiding(excl); h != "" {
+			hint = h
+		}
+	}
+	req := yarn.Request{Resource: am.containerResource(t), NodeHint: hint, Strict: strict}
+	if am.cfg.SizeContainersByTask {
+		// Task-addressed container: run exactly this task on allocation.
+		am.app.Request(req, func(c *yarn.Container) { am.launchTask(t, c) })
+		return
+	}
+	am.app.Request(req, am.onAnonymousContainer)
+}
+
+// onAnonymousContainer matches an allocated container to a queued task via
+// the scheduling policy. A nil selection with work still queued means the
+// policy declined this node (e.g. adaptive-greedy on a known-slow machine):
+// release the container and re-request one steered elsewhere.
+func (am *AM) onAnonymousContainer(c *yarn.Container) {
+	task := am.sched.Select(c.NodeID)
+	if task == nil {
+		am.app.Release(c)
+		if !am.finished && am.sched.Queued() > am.app.PendingRequests() {
+			hint := am.hintAvoiding(map[string]bool{c.NodeID: true})
+			am.app.Request(yarn.Request{
+				Resource: yarn.Resource{VCores: am.cfg.ContainerVCores, MemMB: am.cfg.ContainerMemMB},
+				NodeHint: hint,
+			}, am.onAnonymousContainer)
+		}
+		return
+	}
+	am.launchTask(task, c)
+}
+
+// launchTask drives one container lifecycle for the task.
+func (am *AM) launchTask(t *wf.Task, c *yarn.Container) {
+	if am.finished {
+		am.app.Release(c)
+		return
+	}
+	if am.excluded[t.ID][c.NodeID] {
+		// The task already failed on this node; re-queue it and ask for a
+		// different container (the paper's retry-on-different-node).
+		am.sched.OnTaskReady(t)
+		am.app.Release(c)
+		am.requestContainer(t)
+		return
+	}
+	node := am.env.Cluster.Node(c.NodeID)
+	if node == nil {
+		am.finish(fmt.Errorf("core: container on unknown node %s", c.NodeID))
+		return
+	}
+	am.running[t.ID] = true
+	am.containers++
+	eng := am.env.Cluster.Engine
+	res := &wf.TaskResult{Task: t, Node: c.NodeID, Start: eng.Now()}
+	am.provTaskStart(t, c.NodeID)
+
+	lost := false
+	c.OnLost = func() {
+		lost = true
+		res.End = eng.Now()
+		res.ExitCode = -1
+		res.Error = fmt.Sprintf("node %s lost during execution", c.NodeID)
+		am.onTaskFinished(t, c, res, false)
+	}
+
+	stageInStart := eng.Now()
+	am.env.FS.Read(c.NodeID, t.Inputs, func(err error) {
+		if lost || am.finished {
+			am.app.Release(c)
+			return
+		}
+		if err != nil {
+			res.End = eng.Now()
+			res.ExitCode = 1
+			res.Error = fmt.Sprintf("stage-in: %v", err)
+			am.onTaskFinished(t, c, res, false)
+			return
+		}
+		res.StageInSec = eng.Now() - stageInStart
+
+		threads := t.Threads
+		if threads > c.Resource.VCores {
+			threads = c.Resource.VCores
+		}
+		execStart := eng.Now()
+		am.env.Cluster.Compute(node, t.CPUSeconds, threads, func() {
+			if lost || am.finished {
+				am.app.Release(c)
+				return
+			}
+			res.ExecSec = eng.Now() - execStart
+
+			attempt := am.retries[t.ID]
+			if am.cfg.FaultInjector != nil && am.cfg.FaultInjector(t, c.NodeID, attempt) {
+				res.End = eng.Now()
+				res.ExitCode = 1
+				res.Error = "injected fault"
+				am.onTaskFinished(t, c, res, false)
+				return
+			}
+			outcome := am.cfg.Behavior(t)
+			res.ExitCode = outcome.ExitCode
+			res.Error = outcome.Error
+			res.Outputs = outcome.Outputs
+			if !res.Succeeded() {
+				res.End = eng.Now()
+				am.onTaskFinished(t, c, res, false)
+				return
+			}
+
+			// Stage out every produced file to HDFS.
+			stageOutStart := eng.Now()
+			files := res.OutputFiles()
+			pending := len(files)
+			if pending == 0 {
+				res.End = eng.Now()
+				am.onTaskFinished(t, c, res, true)
+				return
+			}
+			var writeErr error
+			for _, fi := range files {
+				am.env.FS.Write(c.NodeID, fi.Path, fi.SizeMB, func(err error) {
+					if err != nil && writeErr == nil {
+						writeErr = err
+					}
+					pending--
+					if pending > 0 {
+						return
+					}
+					if lost || am.finished {
+						am.app.Release(c)
+						return
+					}
+					res.StageOutSec = eng.Now() - stageOutStart
+					res.End = eng.Now()
+					if writeErr != nil {
+						res.ExitCode = 1
+						res.Error = fmt.Sprintf("stage-out: %v", writeErr)
+						am.onTaskFinished(t, c, res, false)
+						return
+					}
+					am.onTaskFinished(t, c, res, true)
+				})
+			}
+		})
+	})
+}
+
+// onTaskFinished handles completion (ok) or failure of one attempt.
+func (am *AM) onTaskFinished(t *wf.Task, c *yarn.Container, res *wf.TaskResult, ok bool) {
+	delete(am.running, t.ID)
+	am.app.Release(c)
+	am.provTaskEnd(res)
+	if am.finished {
+		return
+	}
+
+	if !ok {
+		am.retries[t.ID]++
+		am.retriesSum++
+		if am.retries[t.ID] > am.cfg.MaxRetries {
+			am.results = append(am.results, res)
+			am.finish(fmt.Errorf("core: task %s failed %d times (last on %s): %s",
+				t, am.retries[t.ID], res.Node, res.Error))
+			return
+		}
+		// Exclude the failing node and retry elsewhere. If every node is
+		// excluded, start over (the node set may be partly dead).
+		excl := am.excluded[t.ID]
+		if excl == nil {
+			excl = make(map[string]bool)
+			am.excluded[t.ID] = excl
+		}
+		excl[res.Node] = true
+		if len(excl) >= len(am.env.RM.LiveNodes()) {
+			am.excluded[t.ID] = make(map[string]bool)
+			excl = am.excluded[t.ID]
+		}
+		// Static plans pin tasks to nodes; move the pin off the failing
+		// node so the strict retry request can be satisfied.
+		if ra, ok := am.sched.(scheduler.Reassigner); ok {
+			for _, id := range am.env.RM.LiveNodes() {
+				if !excl[id] {
+					ra.Reassign(t, id)
+					break
+				}
+			}
+		}
+		am.sched.OnTaskReady(t)
+		am.requestContainer(t)
+		return
+	}
+
+	am.results = append(am.results, res)
+	next, err := am.driver.OnTaskComplete(res)
+	if err != nil {
+		am.finish(err)
+		return
+	}
+	for _, nt := range next {
+		am.submit(nt)
+	}
+	if am.driver.Done() {
+		am.finish(nil)
+		return
+	}
+	// Deadlock check: nothing running, nothing queued, nothing requested,
+	// but the driver still expects progress.
+	if len(am.running) == 0 && am.sched.Queued() == 0 && am.app.PendingRequests() == 0 {
+		am.finish(fmt.Errorf("core: workflow %s stalled with %d tasks finished", am.driver.Name(), len(am.results)))
+	}
+}
+
+// finish terminates the workflow and assembles the report.
+func (am *AM) finish(err error) {
+	if am.finished {
+		return
+	}
+	am.finished = true
+	eng := am.env.Cluster.Engine
+	am.report = &Report{
+		WorkflowID:   am.cfg.WorkflowID,
+		WorkflowName: am.driver.Name(),
+		Scheduler:    am.sched.Name(),
+		Start:        am.start,
+		End:          eng.Now(),
+		MakespanSec:  eng.Now() - am.start,
+		Succeeded:    err == nil,
+		Err:          err,
+		Results:      am.results,
+		Retries:      am.retriesSum,
+		Containers:   am.containers,
+	}
+	if err == nil {
+		am.report.Outputs = am.driver.Outputs()
+	}
+	am.provWorkflowEnd(err == nil)
+	am.app.Finish()
+}
+
+func (am *AM) provWorkflowStart() {
+	if am.env.Prov == nil {
+		return
+	}
+	_ = am.env.Prov.RecordWorkflowStart(am.cfg.WorkflowID, am.driver.Name(), am.env.Cluster.Engine.Now())
+}
+
+func (am *AM) provWorkflowEnd(ok bool) {
+	if am.env.Prov == nil {
+		return
+	}
+	now := am.env.Cluster.Engine.Now()
+	_ = am.env.Prov.RecordWorkflowEnd(am.cfg.WorkflowID, am.driver.Name(), now, now-am.start, ok)
+}
+
+func (am *AM) provTaskStart(t *wf.Task, node string) {
+	if am.env.Prov == nil {
+		return
+	}
+	_ = am.env.Prov.RecordTaskStart(am.cfg.WorkflowID, am.driver.Name(), t, node, am.env.Cluster.Engine.Now())
+}
+
+func (am *AM) provTaskEnd(res *wf.TaskResult) {
+	if am.env.Prov == nil {
+		return
+	}
+	sizes := make(map[string]float64, len(res.Task.Inputs))
+	for _, in := range res.Task.Inputs {
+		if f, ok := am.env.FS.Stat(in); ok {
+			sizes[in] = f.SizeMB
+		}
+	}
+	_ = am.env.Prov.RecordTaskEnd(am.cfg.WorkflowID, am.driver.Name(), res, sizes)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hiway/internal/wf"
+)
+
+// TimelineCSV exports the execution record as CSV (one row per task
+// attempt that completed), ready for external plotting.
+func (r *Report) TimelineCSV() string {
+	var sb strings.Builder
+	sb.WriteString("task_id,signature,node,start_s,stage_in_s,exec_s,stage_out_s,end_s,exit_code\n")
+	results := append([]*wf.TaskResult(nil), r.Results...)
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Start != results[j].Start {
+			return results[i].Start < results[j].Start
+		}
+		return results[i].Task.ID < results[j].Task.ID
+	})
+	for _, res := range results {
+		fmt.Fprintf(&sb, "%d,%s,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%d\n",
+			res.Task.ID, res.Task.Name, res.Node,
+			res.Start, res.StageInSec, res.ExecSec, res.StageOutSec, res.End, res.ExitCode)
+	}
+	return sb.String()
+}
+
+// Gantt renders a coarse per-node timeline: each task attempt occupies a
+// span of the node's row, labeled with the first letter of its signature.
+// width is the number of character cells spanning the whole makespan.
+func (r *Report) Gantt(width int) string {
+	if width <= 10 {
+		width = 80
+	}
+	span := r.End - r.Start
+	if span <= 0 || len(r.Results) == 0 {
+		return "(empty timeline)\n"
+	}
+	cell := span / float64(width)
+
+	nodes := map[string][]byte{}
+	var nodeIDs []string
+	rowFor := func(node string) []byte {
+		if row, ok := nodes[node]; ok {
+			return row
+		}
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		nodes[node] = row
+		nodeIDs = append(nodeIDs, node)
+		return row
+	}
+	for _, res := range r.Results {
+		row := rowFor(res.Node)
+		from := int((res.Start - r.Start) / cell)
+		to := int((res.End - r.Start) / cell)
+		if to >= width {
+			to = width - 1
+		}
+		if from > to {
+			from = to
+		}
+		label := byte('?')
+		if len(res.Task.Name) > 0 {
+			label = res.Task.Name[0]
+		}
+		for i := from; i <= to; i++ {
+			row[i] = label
+		}
+	}
+	sort.Strings(nodeIDs)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan %.1fs, %d tasks, one row per node (letter = task signature initial)\n",
+		r.MakespanSec, len(r.Results))
+	for _, id := range nodeIDs {
+		fmt.Fprintf(&sb, "%-10s %s\n", id, nodes[id])
+	}
+	return sb.String()
+}
+
+// Summary is a one-paragraph human-readable digest.
+func (r *Report) Summary() string {
+	status := "succeeded"
+	if !r.Succeeded {
+		status = fmt.Sprintf("FAILED (%v)", r.Err)
+	}
+	bySig := map[string]int{}
+	var stageIn, exec, stageOut float64
+	for _, res := range r.Results {
+		bySig[res.Task.Name]++
+		stageIn += res.StageInSec
+		exec += res.ExecSec
+		stageOut += res.StageOutSec
+	}
+	sigs := make([]string, 0, len(bySig))
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	parts := make([]string, 0, len(sigs))
+	for _, s := range sigs {
+		parts = append(parts, fmt.Sprintf("%s×%d", s, bySig[s]))
+	}
+	return fmt.Sprintf(
+		"workflow %s (%s scheduler) %s in %.1fs: %d tasks [%s], %d containers, %d retries; task time split: stage-in %.1fs, execute %.1fs, stage-out %.1fs",
+		r.WorkflowName, r.Scheduler, status, r.MakespanSec,
+		len(r.Results), strings.Join(parts, " "), r.Containers, r.Retries,
+		stageIn, exec, stageOut)
+}

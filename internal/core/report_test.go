@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hiway/internal/scheduler"
+)
+
+func runChainForReport(t *testing.T) *Report {
+	t.Helper()
+	env := newEnv(t, 3, spec(), 1000)
+	env.FS.Put("/in/seed", 20, "")
+	rep, err := Run(env.Env, chainDriver(t, 4), scheduler.NewFCFS(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestTimelineCSV(t *testing.T) {
+	rep := runChainForReport(t)
+	csv := rep.TimelineCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(rep.Results) {
+		t.Fatalf("csv lines = %d, want %d", len(lines), 1+len(rep.Results))
+	}
+	if !strings.HasPrefix(lines[0], "task_id,signature,node,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Rows sorted by start time.
+	if !strings.Contains(lines[1], "prep") {
+		t.Fatalf("first row should be prep: %q", lines[1])
+	}
+	for _, l := range lines[1:] {
+		if cols := strings.Split(l, ","); len(cols) != 9 {
+			t.Fatalf("row %q has %d columns", l, len(cols))
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	rep := runChainForReport(t)
+	g := rep.Gantt(60)
+	if !strings.Contains(g, "makespan") {
+		t.Fatalf("gantt = %q", g)
+	}
+	// Every node that ran a task has a row; rows contain task initials.
+	nodes := map[string]bool{}
+	for _, res := range rep.Results {
+		nodes[res.Node] = true
+	}
+	for n := range nodes {
+		if !strings.Contains(g, n) {
+			t.Fatalf("gantt missing node %s:\n%s", n, g)
+		}
+	}
+	if !strings.Contains(g, "w") { // "work" tasks
+		t.Fatalf("gantt missing task marks:\n%s", g)
+	}
+	// Degenerate width falls back to the default.
+	if out := rep.Gantt(0); !strings.Contains(out, "makespan") {
+		t.Fatal("zero width should fall back")
+	}
+	empty := &Report{}
+	if out := empty.Gantt(40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty report gantt = %q", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rep := runChainForReport(t)
+	s := rep.Summary()
+	for _, want := range []string{"succeeded", "work×4", "prep×1", "fcfs", "containers"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q: %s", want, s)
+		}
+	}
+	failed := &Report{WorkflowName: "x", Scheduler: "fcfs", Err: errTest}
+	if !strings.Contains(failed.Summary(), "FAILED") {
+		t.Fatalf("failed summary = %q", failed.Summary())
+	}
+}
+
+var errTest = errFor("boom")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }

@@ -1,0 +1,5 @@
+// Package e2e holds whole-system integration tests: every workflow
+// language through the full AM/YARN/HDFS stack, provenance trace
+// round-trips, fault tolerance under iterative execution, and the
+// database-backed provenance path. The package contains tests only.
+package e2e

@@ -1,0 +1,465 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hiway/internal/cluster"
+	"hiway/internal/core"
+	"hiway/internal/hdfs"
+	"hiway/internal/provenance"
+	"hiway/internal/recipes"
+	"hiway/internal/scheduler"
+	"hiway/internal/wf"
+	"hiway/internal/workloads"
+	"hiway/internal/yarn"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out. They are
+// not paper figures; they isolate the mechanisms behind them.
+
+// ---------------------------------------------------------------------------
+// Ablation 1: scheduling policy under heterogeneity (Fig. 9's mechanism,
+// including the dynamic adaptive-greedy policy the paper leaves as future
+// work).
+
+// SchedulerAblationRow is one policy's result.
+type SchedulerAblationRow struct {
+	Policy    string
+	MedianSec float64
+	StdSec    float64
+}
+
+// SchedulerAblation runs Montage on the Fig. 9 heterogeneous cluster under
+// four policies. HEFT and adaptive-greedy are given warm provenance
+// (priorRuns prior executions) so the comparison isolates steady-state
+// placement quality rather than exploration cost.
+func SchedulerAblation(reps, priorRuns int, seed int64) ([]SchedulerAblationRow, error) {
+	if reps <= 0 {
+		reps = 10
+	}
+	if priorRuns <= 0 {
+		priorRuns = 12
+	}
+	if seed == 0 {
+		seed = 90
+	}
+	policies := []string{scheduler.PolicyFCFS, scheduler.PolicyDataAware, scheduler.PolicyHEFT, scheduler.PolicyAdaptiveGreedy}
+	var rows []SchedulerAblationRow
+	for _, policy := range policies {
+		var times []float64
+		for rep := 0; rep < reps; rep++ {
+			base := seed + int64(rep)*100
+			store := provenance.NewMemStore()
+			if policy == scheduler.PolicyHEFT || policy == scheduler.PolicyAdaptiveGreedy {
+				// Warm the provenance with prior HEFT executions.
+				for i := 0; i < priorRuns; i++ {
+					if _, err := fig9Run(scheduler.PolicyHEFT, store, base+int64(i), 0.09, 0.12); err != nil {
+						return nil, err
+					}
+				}
+			}
+			t, err := ablationFig9Run(policy, store, base+50, 0.09, 0.12)
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, t)
+		}
+		med := median(times)
+		_, std := stats(times)
+		rows = append(rows, SchedulerAblationRow{Policy: policy, MedianSec: med, StdSec: std})
+	}
+	return rows, nil
+}
+
+// ablationFig9Run is fig9Run generalized over all policies.
+func ablationFig9Run(policy string, store provenance.Store, seed int64, scale, jitter float64) (float64, error) {
+	driver, inputs := workloads.Montage(workloads.MontageConfig{Degree: 0.25, RuntimeScale: scale})
+	r := &recipes.Recipe{
+		Name:       "ablation-sched",
+		Groups:     fig9Workers(),
+		SwitchMBps: 2000,
+		HDFS:       hdfs.Config{BlockSizeMB: 512, Replication: 3, ExcludeNodes: []string{"node-00"}},
+		YARN:       yarn.Config{AMResource: yarn.Resource{VCores: 1, MemMB: 1024}},
+		Seed:       seed,
+		Inputs:     inputs,
+	}
+	e, err := buildEnv(r, store)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := driver.Parse(); err != nil {
+		return 0, err
+	}
+	jitterTasks(driver, rand.New(rand.NewSource(seed)), jitter)
+	sched, err := scheduler.New(policy, scheduler.Deps{Locality: e.FS, Estimator: e.Prov})
+	if err != nil {
+		return 0, err
+	}
+	rep, err := core.Run(e.Env, reparse(driver), sched, core.Config{
+		ContainerVCores: 2, ContainerMemMB: 7000, AMNode: "node-00",
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.MakespanSec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2: HDFS replication factor vs locality and makespan (the lever
+// behind Fig. 4: more replicas give the data-aware scheduler more nodes to
+// choose from, at the price of write traffic).
+
+// ReplicationAblationRow is one replication factor's result.
+type ReplicationAblationRow struct {
+	Replication int
+	MakespanMin float64
+	LocalFrac   float64
+}
+
+// ReplicationAblation runs the Fig. 4 workload (reduced) under data-aware
+// scheduling with varying replication.
+func ReplicationAblation(seed int64) ([]ReplicationAblationRow, error) {
+	if seed == 0 {
+		seed = 91
+	}
+	var rows []ReplicationAblationRow
+	for _, repl := range []int{1, 2, 3} {
+		opt := Fig4Options{Samples: 8, Nodes: 12}
+		opt.setDefaults()
+		perNode := 12
+		driver, inputs := workloads.SNV(workloads.SNVConfig{
+			Samples: opt.Samples, FilesPerSample: 12, FileSizeMB: 340,
+			CallSplitRegions: 8, AlignCPUSeconds: 600, SortCPUSeconds: 400,
+			CallCPUSeconds: 800, AnnotateCPUSeconds: 600, RefLocal: true,
+		})
+		spec := cluster.XeonE52620()
+		spec.VCores = perNode
+		spec.MemMB = perNode*1024 + 1024
+		r := &recipes.Recipe{
+			Name:       fmt.Sprintf("ablation-repl-%d", repl),
+			Groups:     []recipes.NodeGroup{{Count: opt.Nodes, Spec: spec}},
+			SwitchMBps: 400,
+			HDFS:       hdfs.Config{BlockSizeMB: 1024, Replication: repl},
+			YARN:       amConfig(),
+			Seed:       seed,
+			Inputs:     inputs,
+		}
+		e, err := buildEnv(r, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := driver.Parse(); err != nil {
+			return nil, err
+		}
+		rep, err := core.Run(e.Env, reparse(driver), scheduler.NewDataAware(e.FS), core.Config{
+			ContainerVCores: 1, ContainerMemMB: 1024,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ReplicationAblationRow{
+			Replication: repl,
+			MakespanMin: rep.MakespanSec / 60,
+			LocalFrac:   localReadFraction(rep, e.FS),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 3: HEFT estimate policy — the paper's latest-observation with
+// default-zero exploration vs a mean-fallback without exploration.
+
+// EstimateAblationResult compares the two modes over consecutive runs.
+type EstimateAblationResult struct {
+	// Series indexed by prior runs 0..N-1.
+	ZeroDefaultMedianSec  []float64
+	MeanFallbackMedianSec []float64
+}
+
+// EstimateAblation replays Fig. 9's consecutive-run protocol under both
+// estimate modes.
+func EstimateAblation(reps, runs int, seed int64) (*EstimateAblationResult, error) {
+	if reps <= 0 {
+		reps = 6
+	}
+	if runs <= 0 {
+		runs = 10
+	}
+	if seed == 0 {
+		seed = 92
+	}
+	res := &EstimateAblationResult{}
+	for _, mode := range []scheduler.EstimateMode{scheduler.EstimateLatestZeroDefault, scheduler.EstimateMeanFallback} {
+		series := make([][]float64, runs)
+		for rep := 0; rep < reps; rep++ {
+			store := provenance.NewMemStore()
+			for i := 0; i < runs; i++ {
+				t, err := estimateModeRun(mode, store, seed+int64(rep)*1000+int64(i))
+				if err != nil {
+					return nil, err
+				}
+				series[i] = append(series[i], t)
+			}
+		}
+		var medians []float64
+		for _, s := range series {
+			medians = append(medians, median(s))
+		}
+		if mode == scheduler.EstimateLatestZeroDefault {
+			res.ZeroDefaultMedianSec = medians
+		} else {
+			res.MeanFallbackMedianSec = medians
+		}
+	}
+	return res, nil
+}
+
+func estimateModeRun(mode scheduler.EstimateMode, store provenance.Store, seed int64) (float64, error) {
+	driver, inputs := workloads.Montage(workloads.MontageConfig{Degree: 0.25, RuntimeScale: 0.09})
+	r := &recipes.Recipe{
+		Name:       "ablation-estimate",
+		Groups:     fig9Workers(),
+		SwitchMBps: 2000,
+		HDFS:       hdfs.Config{BlockSizeMB: 512, Replication: 3, ExcludeNodes: []string{"node-00"}},
+		YARN:       yarn.Config{AMResource: yarn.Resource{VCores: 1, MemMB: 1024}},
+		Seed:       seed,
+		Inputs:     inputs,
+	}
+	e, err := buildEnv(r, store)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := driver.Parse(); err != nil {
+		return 0, err
+	}
+	jitterTasks(driver, rand.New(rand.NewSource(seed)), 0.12)
+	h := scheduler.NewHEFTSeeded(e.Prov, seed)
+	h.SetEstimateMode(mode)
+	rep, err := core.Run(e.Env, reparse(driver), h, core.Config{
+		ContainerVCores: 2, ContainerMemMB: 7000, AMNode: "node-00",
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.MakespanSec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 4: one AM per workflow — concurrent multi-tenant execution vs
+// serializing workflows through the cluster (§3.1's scalability argument).
+
+// AMAblationResult compares total wall time for N workflows.
+type AMAblationResult struct {
+	Workflows     int
+	ConcurrentMin float64
+	SerialMin     float64
+}
+
+// MultiAMAblation runs N independent SNV samples as N separate workflows
+// (one AM each) concurrently, and then back-to-back, on the same cluster
+// size.
+func MultiAMAblation(workflows int, seed int64) (*AMAblationResult, error) {
+	if workflows <= 0 {
+		workflows = 4
+	}
+	if seed == 0 {
+		seed = 93
+	}
+	mkEnv := func() (*env, error) {
+		spec := cluster.XeonE52620()
+		spec.VCores = 8
+		spec.MemMB = 8*1024 + 4096
+		return buildEnv(&recipes.Recipe{
+			Name:       "ablation-multiam",
+			Groups:     []recipes.NodeGroup{{Count: workflows * 2, Spec: spec}},
+			SwitchMBps: 2000,
+			HDFS:       hdfs.Config{BlockSizeMB: 1024, Replication: 2},
+			YARN:       amConfig(),
+			Seed:       seed,
+		}, nil)
+	}
+	mkDriver := func(i int, e *env) (wf.StaticDriver, error) {
+		driver, inputs := workloads.SNV(workloads.SNVConfig{
+			Samples: 1, FilesPerSample: 8, FileSizeMB: 256,
+			AlignCPUSeconds: 300, SortCPUSeconds: 200, CallCPUSeconds: 400, AnnotateCPUSeconds: 200,
+			RefLocal: true,
+		})
+		// Distinct paths per workflow instance.
+		for _, t := range mustParse(driver) {
+			_ = t
+		}
+		prefix := fmt.Sprintf("/wf%02d", i)
+		for _, t := range driver.Graph().All() {
+			for j := range t.Inputs {
+				t.Inputs[j] = prefix + t.Inputs[j]
+			}
+			for p, fis := range t.Declared {
+				for j := range fis {
+					fis[j].Path = prefix + fis[j].Path
+				}
+				t.Declared[p] = fis
+			}
+		}
+		var initial []string
+		for _, in := range inputs {
+			path := prefix + in.Path
+			initial = append(initial, path)
+			if !e.FS.Exists(path) {
+				if _, err := e.FS.Put(path, in.SizeMB, ""); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Rebuild the driver around the rewritten tasks: the original
+		// graph's initial-input bookkeeping still holds the unprefixed
+		// paths, so reparse() cannot be used here.
+		g := driver.Graph()
+		sb := &wf.StaticBase{WFName: fmt.Sprintf("wf%02d", i)}
+		sb.Build = func() ([]*wf.Task, []string, []wf.Edge, error) {
+			var edges []wf.Edge
+			for _, t := range g.All() {
+				for _, p := range g.Predecessors(t) {
+					edges = append(edges, wf.Edge{Parent: p.ID, Child: t.ID})
+				}
+			}
+			return g.All(), initial, edges, nil
+		}
+		return sb, nil
+	}
+
+	// Concurrent: one AM per workflow, all submitted at once.
+	e, err := mkEnv()
+	if err != nil {
+		return nil, err
+	}
+	var ams []*core.AM
+	for i := 0; i < workflows; i++ {
+		d, err := mkDriver(i, e)
+		if err != nil {
+			return nil, err
+		}
+		am, err := core.Launch(e.Env, d, scheduler.NewFCFS(), core.Config{ContainerVCores: 2, ContainerMemMB: 2048})
+		if err != nil {
+			return nil, err
+		}
+		ams = append(ams, am)
+	}
+	e.eng.Run()
+	var concurrentEnd float64
+	for _, am := range ams {
+		rep, err := am.Report()
+		if err != nil {
+			return nil, err
+		}
+		if rep.End > concurrentEnd {
+			concurrentEnd = rep.End
+		}
+	}
+
+	// Serial: the same workflows one after another on a fresh cluster.
+	e2, err := mkEnv()
+	if err != nil {
+		return nil, err
+	}
+	var serialEnd float64
+	for i := 0; i < workflows; i++ {
+		d, err := mkDriver(i, e2)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Run(e2.Env, d, scheduler.NewFCFS(), core.Config{ContainerVCores: 2, ContainerMemMB: 2048})
+		if err != nil {
+			return nil, err
+		}
+		serialEnd = rep.End
+	}
+	return &AMAblationResult{
+		Workflows:     workflows,
+		ConcurrentMin: concurrentEnd / 60,
+		SerialMin:     serialEnd / 60,
+	}, nil
+}
+
+func mustParse(d wf.StaticDriver) []*wf.Task {
+	ready, err := d.Parse()
+	if err != nil {
+		panic(err)
+	}
+	return ready
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 5: container sizing — identical containers (the paper's current
+// mode) vs containers custom-tailored to each task (§5 future work).
+
+// SizingAblationResult compares the two container modes.
+type SizingAblationResult struct {
+	UniformMin   float64
+	TailoredMin  float64
+	UniformMemMB int
+}
+
+// ContainerSizingAblation runs a mixed workload (many small single-core
+// tasks plus a few memory-hungry ones) both ways. Uniform containers must
+// be sized for the largest task, under-utilizing nodes; tailored containers
+// pack small tasks densely.
+func ContainerSizingAblation(seed int64) (*SizingAblationResult, error) {
+	if seed == 0 {
+		seed = 94
+	}
+	build := func() wf.StaticDriver {
+		var tasks []*wf.Task
+		for i := 0; i < 48; i++ {
+			t := wf.NewTask("small", nil, []wf.FileInfo{{Path: fmt.Sprintf("/o/s%02d", i), SizeMB: 1}})
+			t.CPUSeconds = 120
+			t.Threads = 1
+			t.MemMB = 1024
+			tasks = append(tasks, t)
+		}
+		for i := 0; i < 4; i++ {
+			t := wf.NewTask("big", nil, []wf.FileInfo{{Path: fmt.Sprintf("/o/b%02d", i), SizeMB: 1}})
+			t.CPUSeconds = 240
+			t.Threads = 2
+			t.MemMB = 6000
+			tasks = append(tasks, t)
+		}
+		sb := &wf.StaticBase{WFName: "sizing"}
+		sb.Build = func() ([]*wf.Task, []string, []wf.Edge, error) { return tasks, nil, nil, nil }
+		return sb
+	}
+	run := func(tailored bool) (float64, error) {
+		e, err := buildEnv(&recipes.Recipe{
+			Name:       "ablation-sizing",
+			Groups:     []recipes.NodeGroup{{Count: 4, Spec: cluster.M3Large()}}, // 2 cores, 7.5 GB
+			SwitchMBps: 2000,
+			HDFS:       hdfs.Config{},
+			YARN:       yarn.Config{AMResource: yarn.Resource{VCores: 0, MemMB: 256}},
+			Seed:       seed,
+		}, nil)
+		if err != nil {
+			return 0, err
+		}
+		cfg := core.Config{SizeContainersByTask: tailored}
+		if !tailored {
+			// Uniform containers must fit the biggest task.
+			cfg.ContainerVCores = 2
+			cfg.ContainerMemMB = 6000
+		}
+		rep, err := core.Run(e.Env, build(), scheduler.NewFCFS(), cfg)
+		if err != nil {
+			return 0, err
+		}
+		return rep.MakespanSec / 60, nil
+	}
+	uniform, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	tailored, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &SizingAblationResult{UniformMin: uniform, TailoredMin: tailored, UniformMemMB: 6000}, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import "testing"
+
+func TestSchedulerAblation(t *testing.T) {
+	rows, err := SchedulerAblation(3, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]SchedulerAblationRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	fcfs, heft, adaptive := byPolicy["fcfs"], byPolicy["heft"], byPolicy["adaptive"]
+	// With warm provenance, both adaptive policies beat FCFS on the
+	// heterogeneous cluster.
+	if heft.MedianSec >= fcfs.MedianSec {
+		t.Fatalf("warm HEFT (%.0fs) should beat FCFS (%.0fs)", heft.MedianSec, fcfs.MedianSec)
+	}
+	if adaptive.MedianSec >= fcfs.MedianSec {
+		t.Fatalf("adaptive-greedy (%.0fs) should beat FCFS (%.0fs)", adaptive.MedianSec, fcfs.MedianSec)
+	}
+}
+
+func TestReplicationAblation(t *testing.T) {
+	rows, err := ReplicationAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Locality is high at every factor (data-aware picks replica holders);
+	// with a single replica there is exactly one eligible node per file,
+	// so queueing delays rise — replication buys scheduling freedom.
+	for _, r := range rows {
+		if r.LocalFrac < 0.85 {
+			t.Fatalf("replication %d: local fraction %.2f", r.Replication, r.LocalFrac)
+		}
+	}
+}
+
+func TestEstimateAblation(t *testing.T) {
+	res, err := EstimateAblation(3, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ZeroDefaultMedianSec) != 8 || len(res.MeanFallbackMedianSec) != 8 {
+		t.Fatalf("series lengths: %d %d", len(res.ZeroDefaultMedianSec), len(res.MeanFallbackMedianSec))
+	}
+	// Mean-fallback stops exploring after the first run, so its runtimes
+	// settle immediately; zero-default pays exploration spikes early on.
+	zeroEarly := res.ZeroDefaultMedianSec[2]
+	meanEarly := res.MeanFallbackMedianSec[2]
+	if meanEarly >= zeroEarly {
+		t.Fatalf("mean-fallback (%.0fs) should be calmer than exploring zero-default (%.0fs) early on",
+			meanEarly, zeroEarly)
+	}
+	// Both end well below their starting point.
+	if last := res.ZeroDefaultMedianSec[7]; last >= res.ZeroDefaultMedianSec[0] {
+		t.Fatalf("zero-default did not improve: %v", res.ZeroDefaultMedianSec)
+	}
+}
+
+func TestMultiAMAblation(t *testing.T) {
+	res, err := MultiAMAblation(3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running the workflows concurrently (one AM each) on a cluster big
+	// enough for all of them is far faster than serializing them.
+	if res.ConcurrentMin >= res.SerialMin*0.7 {
+		t.Fatalf("concurrent %0.1f min vs serial %0.1f min", res.ConcurrentMin, res.SerialMin)
+	}
+}
+
+func TestContainerSizingAblation(t *testing.T) {
+	res, err := ContainerSizingAblation(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task-tailored containers (§5 future work) pack the many small tasks
+	// densely; uniform largest-task containers under-utilize memory.
+	if res.TailoredMin >= res.UniformMin {
+		t.Fatalf("tailored %0.1f min should beat uniform %0.1f min", res.TailoredMin, res.UniformMin)
+	}
+}

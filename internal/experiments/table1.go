@@ -1,0 +1,52 @@
+package experiments
+
+// Table1Row is one row of the experiment overview (paper Table 1).
+type Table1Row struct {
+	Workflow       string
+	Domain         string
+	Language       string
+	Scheduler      string
+	Infrastructure string
+	Runs           string
+	Evaluation     string
+	Section        string
+}
+
+// Table1 returns the overview of conducted experiments.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{
+			Workflow: "SNV Calling", Domain: "genomics", Language: "Cuneiform",
+			Scheduler: "data-aware", Infrastructure: "24 Xeon E5-2620",
+			Runs: "3", Evaluation: "performance, scalability", Section: "4.1",
+		},
+		{
+			Workflow: "SNV Calling", Domain: "genomics", Language: "Cuneiform",
+			Scheduler: "FCFS", Infrastructure: "128 EC2 m3.large",
+			Runs: "3", Evaluation: "scalability", Section: "4.1",
+		},
+		{
+			Workflow: "RNA-seq", Domain: "bioinformatics", Language: "Galaxy",
+			Scheduler: "data-aware", Infrastructure: "6 EC2 c3.2xlarge",
+			Runs: "5", Evaluation: "performance", Section: "4.2",
+		},
+		{
+			Workflow: "Montage", Domain: "astronomy", Language: "DAX",
+			Scheduler: "HEFT", Infrastructure: "8 EC2 m3.large",
+			Runs: "80", Evaluation: "adaptive scheduling", Section: "4.3",
+		},
+	}
+}
+
+// RenderTable1 prints the overview.
+func RenderTable1() string {
+	headers := []string{"workflow", "domain", "language", "scheduler", "infrastructure", "runs", "evaluation", "section"}
+	var rows [][]string
+	for _, r := range Table1() {
+		rows = append(rows, []string{
+			r.Workflow, r.Domain, r.Language, r.Scheduler,
+			r.Infrastructure, r.Runs, r.Evaluation, r.Section,
+		})
+	}
+	return "Table 1 — overview of conducted experiments\n" + table(headers, rows)
+}

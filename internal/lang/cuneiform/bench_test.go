@@ -1,0 +1,101 @@
+package cuneiform
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hiway/internal/wf"
+)
+
+func benchSource(files int) string {
+	var sb strings.Builder
+	sb.WriteString(`deftask align( bam : fastq ref ) @cpu 100 in bash *{ bowtie2 }*
+deftask merge( out : <parts> ) @cpu 10 in bash *{ samtools merge }*
+let reads = `)
+	for i := 0; i < files; i++ {
+		fmt.Fprintf(&sb, "%q ", fmt.Sprintf("r%04d.fq", i))
+	}
+	sb.WriteString(";\nmerge( parts: align( fastq: reads ref: \"hg38\" ) );")
+	return sb.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := benchSource(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateWorkflow measures the full driver lifecycle: parse,
+// fan-out, completion-driven re-evaluation, join.
+func BenchmarkEvaluateWorkflow(b *testing.B) {
+	src := benchSource(100)
+	for i := 0; i < b.N; i++ {
+		d := NewDriver("bench", src)
+		ready, err := d.Parse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		queue := ready
+		for len(queue) > 0 {
+			task := queue[0]
+			queue = queue[1:]
+			next, err := d.OnTaskComplete(completeOK(task, nil))
+			if err != nil {
+				b.Fatal(err)
+			}
+			queue = append(queue, next...)
+		}
+		if !d.Done() {
+			b.Fatal("not done")
+		}
+	}
+}
+
+var benchSink []*wf.Task
+
+// BenchmarkIterativeLoop measures re-evaluation cost of a 20-iteration
+// recursive workflow.
+func BenchmarkIterativeLoop(b *testing.B) {
+	src := `
+deftask step( out : cur ) in bash *{ s }*
+deftask check( <flag> : cur ) in bash *{ c }*
+defun loop( cur ) {
+  if check( cur: cur ) then loop( cur: step( cur: cur ) ) else cur end
+}
+loop( cur: "init" );`
+	for i := 0; i < b.N; i++ {
+		d := NewDriver("bench", src)
+		ready, err := d.Parse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		iter := 0
+		queue := ready
+		for len(queue) > 0 {
+			task := queue[0]
+			queue = queue[1:]
+			var res *wf.TaskResult
+			if task.Name == "check" {
+				if iter < 20 {
+					res = completeOK(task, map[string][]string{"flag": {"go"}})
+				} else {
+					res = completeOK(task, map[string][]string{"flag": {}})
+				}
+			} else {
+				iter++
+				res = completeOK(task, nil)
+			}
+			next, err := d.OnTaskComplete(res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queue = append(queue, next...)
+			benchSink = queue
+		}
+	}
+}

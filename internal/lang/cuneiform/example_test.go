@@ -1,0 +1,39 @@
+package cuneiform_test
+
+import (
+	"fmt"
+
+	"hiway/internal/lang/cuneiform"
+	"hiway/internal/wf"
+)
+
+// Example shows the driver lifecycle: parsing a two-step pipeline, running
+// the first task, and receiving the dependent task once its input exists.
+func Example() {
+	driver := cuneiform.NewDriver("demo", `
+deftask upper( out : inp ) in bash *{ tr a-z A-Z < $inp > $out }*
+deftask count( out : inp ) in bash *{ wc -l < $inp > $out }*
+count( inp: upper( inp: "words.txt" ) );`)
+
+	ready, err := driver.Parse()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("initially ready:", ready[0].Name)
+
+	// Simulate completing the first task with its declared outputs.
+	res := &wf.TaskResult{
+		Task:    ready[0],
+		Outputs: map[string][]wf.FileInfo{"out": ready[0].Declared["out"]},
+	}
+	next, err := driver.OnTaskComplete(res)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("discovered next:", next[0].Name)
+	fmt.Println("done:", driver.Done())
+	// Output:
+	// initially ready: upper
+	// discovered next: count
+	// done: false
+}

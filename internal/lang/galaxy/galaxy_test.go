@@ -1,0 +1,144 @@
+package galaxy
+
+import (
+	"testing"
+
+	"hiway/internal/wf"
+)
+
+const sampleGalaxy = `{
+  "a_galaxy_workflow": "true",
+  "name": "rnaseq",
+  "steps": {
+    "0": {"id": 0, "type": "data_input", "label": "reads", "inputs": [{"name": "reads"}], "outputs": []},
+    "1": {"id": 1, "type": "data_input", "inputs": [{"name": "genome"}], "outputs": []},
+    "2": {"id": 2, "type": "tool", "tool_id": "toolshed.g2.bx.psu.edu/repos/devteam/tophat2/tophat2/2.1.0",
+          "name": "TopHat2",
+          "input_connections": {"input1": {"id": 0, "output_name": "output"}, "reference": {"id": 1, "output_name": "output"}},
+          "outputs": [{"name": "accepted_hits", "type": "bam"}, {"name": "junctions", "type": "bed"}]},
+    "3": {"id": 3, "type": "tool", "tool_id": "cufflinks",
+          "input_connections": {"input": {"id": 2, "output_name": "accepted_hits"}},
+          "outputs": [{"name": "assembly", "type": "gtf"}]}
+  }
+}`
+
+func opts() Options {
+	return Options{
+		Inputs: map[string]string{
+			"reads":  "/data/reads.fastq",
+			"genome": "/data/mm10.fa",
+		},
+		Profiles: map[string]wf.Profile{
+			"tophat2":   {CPUSeconds: 600, Threads: 8, MemMB: 8192, OutputSizeMB: 900},
+			"cufflinks": {CPUSeconds: 300, Threads: 4, MemMB: 4096, OutputSizeMB: 80},
+		},
+	}
+}
+
+func TestParseSampleGalaxy(t *testing.T) {
+	d := NewDriver("rnaseq", sampleGalaxy, opts())
+	ready, err := d.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ready) != 1 || ready[0].Name != "tophat2" {
+		t.Fatalf("ready = %v", ready)
+	}
+	th := ready[0]
+	if len(th.Inputs) != 2 || th.Inputs[0] != "/data/reads.fastq" || th.Inputs[1] != "/data/mm10.fa" {
+		t.Fatalf("tophat inputs = %v", th.Inputs)
+	}
+	if th.CPUSeconds != 600 || th.Threads != 8 || th.MemMB != 8192 {
+		t.Fatalf("profile not applied: %+v", th)
+	}
+	if len(th.Declared["out"]) != 2 {
+		t.Fatalf("tophat outputs = %v", th.Declared["out"])
+	}
+	if th.Declared["out"][0].SizeMB != 900 {
+		t.Fatalf("output size = %+v", th.Declared["out"])
+	}
+	// cufflinks consumes exactly tophat's accepted_hits output path.
+	all := d.Graph().All()
+	cl := all[1]
+	if cl.Name != "cufflinks" || len(cl.Inputs) != 1 || cl.Inputs[0] != th.Declared["out"][0].Path {
+		t.Fatalf("cufflinks = %+v (tophat outs %v)", cl, th.Declared["out"])
+	}
+}
+
+func TestExecutionToCompletion(t *testing.T) {
+	d := NewDriver("rnaseq", sampleGalaxy, opts())
+	ready, err := d.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(ready) > 0 {
+		task := ready[0]
+		ready = ready[1:]
+		res := &wf.TaskResult{Task: task, Outputs: map[string][]wf.FileInfo{"out": task.Declared["out"]}}
+		next, err := d.OnTaskComplete(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ready = append(ready, next...)
+	}
+	if !d.Done() {
+		t.Fatal("workflow should be done")
+	}
+	outs := d.Outputs()
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestUnboundInputRejected(t *testing.T) {
+	o := opts()
+	delete(o.Inputs, "genome")
+	d := NewDriver("rnaseq", sampleGalaxy, o)
+	if _, err := d.Parse(); err == nil {
+		t.Fatal("unbound input must be rejected (resolved interactively in real Hi-WAY)")
+	}
+}
+
+func TestInputKeyFallbacks(t *testing.T) {
+	if k := inputKey(jsonStep{ID: 7, Label: "lbl"}); k != "lbl" {
+		t.Fatalf("key = %q", k)
+	}
+	if k := inputKey(jsonStep{ID: 7, Inputs: []jsonStepInput{{Name: "nm"}}}); k != "nm" {
+		t.Fatalf("key = %q", k)
+	}
+	if k := inputKey(jsonStep{ID: 7}); k != "input_7" {
+		t.Fatalf("key = %q", k)
+	}
+}
+
+func TestLookupProfileToolshedID(t *testing.T) {
+	profiles := map[string]wf.Profile{"tophat2": {CPUSeconds: 1}}
+	if _, ok := lookupProfile(profiles, "toolshed/repos/devteam/tophat2/tophat2/2.1.0"); !ok {
+		t.Fatal("toolshed id should resolve")
+	}
+	if _, ok := lookupProfile(profiles, "unrelated"); ok {
+		t.Fatal("unrelated id should not resolve")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `<xml/>`,
+		"no steps":       `{"steps": {}}`,
+		"no tool id":     `{"steps": {"0": {"id": 0, "type": "tool", "outputs": [{"name":"o"}]}}}`,
+		"no outputs":     `{"steps": {"0": {"id": 0, "type": "tool", "tool_id": "t"}}}`,
+		"bad type":       `{"steps": {"0": {"id": 0, "type": "subworkflow"}}}`,
+		"unknown source": `{"steps": {"0": {"id": 0, "type": "tool", "tool_id": "t", "outputs": [{"name":"o"}], "input_connections": {"x": {"id": 9, "output_name": "output"}}}}}`,
+		"missing output": `{"steps": {
+			"0": {"id": 0, "type": "tool", "tool_id": "t", "outputs": [{"name":"o"}]},
+			"1": {"id": 1, "type": "tool", "tool_id": "u", "outputs": [{"name":"p"}], "input_connections": {"x": {"id": 0, "output_name": "nope"}}}}}`,
+		"only inputs": `{"steps": {"0": {"id": 0, "type": "data_input", "label": "a", "outputs": []}}}`,
+	}
+	for name, src := range cases {
+		o := Options{Inputs: map[string]string{"a": "/p"}}
+		d := NewDriver(name, src, o)
+		if _, err := d.Parse(); err == nil {
+			t.Errorf("%s: Parse should fail", name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"testing"
+
+	"hiway/internal/provenance"
+	"hiway/internal/wf"
+)
+
+// recordedRun builds the trace of a two-step chain: align(in.fq → a.bam),
+// call(a.bam → a.vcf).
+func recordedRun() []provenance.Event {
+	return []provenance.Event{
+		{Type: provenance.WorkflowStart, WorkflowID: "wf1", WorkflowName: "snv"},
+		{
+			Type: provenance.TaskEnd, WorkflowID: "wf1", TaskID: 1,
+			Signature: "align", Command: "bowtie2 in.fq", Node: "node-03",
+			CPUSeconds: 100, Threads: 4, MemMB: 2048, DurationSec: 111,
+			Inputs:  []provenance.FileEvent{{Path: "in.fq", SizeMB: 50}},
+			Outputs: []provenance.FileEvent{{Path: "a.bam", SizeMB: 80, Param: "out"}},
+		},
+		{
+			Type: provenance.TaskEnd, WorkflowID: "wf1", TaskID: 2,
+			Signature: "call", Command: "varscan a.bam", Node: "node-01",
+			CPUSeconds: 60, Threads: 1, DurationSec: 66,
+			Inputs:  []provenance.FileEvent{{Path: "a.bam", SizeMB: 80}},
+			Outputs: []provenance.FileEvent{{Path: "a.vcf", SizeMB: 2, Param: "out"}},
+		},
+		{Type: provenance.WorkflowEnd, WorkflowID: "wf1", DurationSec: 200, Succeeded: true},
+	}
+}
+
+func TestReplayFromEvents(t *testing.T) {
+	tasks, initial, edges, err := FromEvents(recordedRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 || len(edges) != 0 {
+		t.Fatalf("tasks=%d edges=%d", len(tasks), len(edges))
+	}
+	if len(initial) != 1 || initial[0] != "in.fq" {
+		t.Fatalf("initial inputs = %v", initial)
+	}
+	align := tasks[0]
+	if align.Name != "align" || align.CPUSeconds != 100 || align.Threads != 4 || align.MemMB != 2048 {
+		t.Fatalf("profile not replayed: %+v", align)
+	}
+	if align.Meta["recordedNode"] != "node-03" {
+		t.Fatalf("meta = %v", align.Meta)
+	}
+	if align.Declared["out"][0] != (wf.FileInfo{Path: "a.bam", SizeMB: 80}) {
+		t.Fatalf("outputs = %+v", align.Declared)
+	}
+}
+
+func TestDriverExecutesSameDAG(t *testing.T) {
+	store := provenance.NewMemStore()
+	for _, ev := range recordedRun() {
+		store.Append(ev)
+	}
+	d := NewDriverFromStore("replay", store)
+	ready, err := d.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ready) != 1 || ready[0].Name != "align" {
+		t.Fatalf("ready = %v", ready)
+	}
+	res := &wf.TaskResult{Task: ready[0], Outputs: map[string][]wf.FileInfo{"out": ready[0].Declared["out"]}}
+	next, err := d.OnTaskComplete(res)
+	if err != nil || len(next) != 1 || next[0].Name != "call" {
+		t.Fatalf("next = %v err = %v", next, err)
+	}
+	res2 := &wf.TaskResult{Task: next[0], Outputs: map[string][]wf.FileInfo{"out": next[0].Declared["out"]}}
+	if _, err := d.OnTaskComplete(res2); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done() {
+		t.Fatal("replay should finish")
+	}
+	outs := d.Outputs()
+	if len(outs) != 1 || outs[0] != "a.vcf" {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestDriverFromJSONLText(t *testing.T) {
+	text := `{"type":"task-end","taskId":1,"signature":"solo","cpuSeconds":5,"outputs":[{"path":"o.dat","sizeMB":1,"param":"out"}]}` + "\n"
+	d := NewDriver("replay", text)
+	ready, err := d.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ready) != 1 || ready[0].Name != "solo" || ready[0].Threads != 1 {
+		t.Fatalf("ready = %+v", ready)
+	}
+}
+
+func TestFailedTaskRejectsReplay(t *testing.T) {
+	events := recordedRun()
+	events[2].ExitCode = 1
+	if _, _, _, err := FromEvents(events); err == nil {
+		t.Fatal("trace with a failed task must be rejected")
+	}
+}
+
+func TestDuplicateOutputRejected(t *testing.T) {
+	events := recordedRun()
+	events[2].Outputs[0].Path = "a.bam" // same as task 1's output
+	if _, _, _, err := FromEvents(events); err == nil {
+		t.Fatal("duplicate producer must be rejected")
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, _, _, err := FromEvents(nil); err == nil {
+		t.Fatal("empty trace must be rejected")
+	}
+	d := NewDriver("x", "not json")
+	if _, err := d.Parse(); err == nil {
+		t.Fatal("bad JSONL must be rejected")
+	}
+}
+
+func TestDefaultParamAndOutputParamFallback(t *testing.T) {
+	events := []provenance.Event{{
+		Type: provenance.TaskEnd, TaskID: 1, Signature: "t",
+		Outputs: []provenance.FileEvent{{Path: "o1"}, {Path: "o2"}},
+	}}
+	tasks, _, _, err := FromEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks[0].OutputParams) != 1 || tasks[0].OutputParams[0] != "out" {
+		t.Fatalf("params = %v", tasks[0].OutputParams)
+	}
+	if len(tasks[0].Declared["out"]) != 2 {
+		t.Fatalf("outputs = %v", tasks[0].Declared)
+	}
+}

@@ -1,0 +1,56 @@
+package provdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	db, err := Open(filepath.Join(b.TempDir(), "bench.db"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	value := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(fmt.Sprintf("key-%08d", i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	db, err := Open(filepath.Join(b.TempDir(), "bench.db"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		db.Put(fmt.Sprintf("key-%04d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Get(fmt.Sprintf("key-%04d", i%1000)); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.db")
+	db, _ := Open(path)
+	for i := 0; i < 5000; i++ {
+		db.Put(fmt.Sprintf("key-%05d", i%1000), []byte("some provenance event payload"))
+	}
+	db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}

@@ -1,0 +1,37 @@
+package provdb_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hiway/internal/provdb"
+)
+
+// Example demonstrates the crash-safe lifecycle: put, reopen, read.
+func Example() {
+	dir, err := os.MkdirTemp("", "provdb-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "prov.db")
+
+	db, err := provdb.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	db.Put("workflow/1", []byte(`{"makespan": 42}`))
+	db.Close()
+
+	// Reopening replays the write-ahead log.
+	db2, err := provdb.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer db2.Close()
+	v, ok := db2.Get("workflow/1")
+	fmt.Println(ok, string(v))
+	// Output:
+	// true {"makespan": 42}
+}

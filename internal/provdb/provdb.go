@@ -1,0 +1,329 @@
+// Package provdb is a small embedded key-value database used as the
+// long-term provenance backend — the stand-in for the MySQL and Couchbase
+// options of the paper's Provenance Manager (§3.5), built from scratch on
+// the standard library.
+//
+// Design: a single append-only write-ahead log holds length- and
+// CRC-prefixed records (puts and delete tombstones); an in-memory index
+// maps each key to its latest value. Opening a database replays the log,
+// tolerating a torn final record (a crashed writer) by truncating it.
+// Compact rewrites only live records into a fresh log and atomically
+// renames it into place.
+package provdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+const (
+	opPut    = byte(1)
+	opDelete = byte(2)
+
+	headerLen = 8 // 4-byte payload length + 4-byte CRC32
+	// maxRecordLen bounds a single record, guarding replay against a
+	// corrupt length prefix.
+	maxRecordLen = 64 << 20
+)
+
+// ErrClosed is returned for operations on a closed database.
+var ErrClosed = errors.New("provdb: database is closed")
+
+// DB is an embedded key-value store. All methods are safe for concurrent
+// use.
+type DB struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+
+	index     map[string][]byte
+	liveBytes int64 // bytes of records still live (for compaction heuristics)
+	logBytes  int64 // total bytes in the log
+}
+
+// Open opens (or creates) the database at path, replaying its log. A torn
+// trailing record — the signature of a crash mid-write — is truncated away;
+// corruption anywhere else is reported as an error.
+func Open(path string) (*DB, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("provdb: opening %s: %w", path, err)
+	}
+	db := &DB{path: path, f: f, index: make(map[string][]byte)}
+	validLen, err := db.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("provdb: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	db.logBytes = validLen
+	return db, nil
+}
+
+// replay scans the log, rebuilding the index, and returns the byte offset
+// up to which the log is valid.
+func (db *DB) replay() (int64, error) {
+	data, err := io.ReadAll(db.f)
+	if err != nil {
+		return 0, fmt.Errorf("provdb: reading log: %w", err)
+	}
+	var off int64
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < headerLen {
+			break // torn header
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if plen > maxRecordLen {
+			break // corrupt length ⇒ treat as torn tail
+		}
+		if len(rest) < headerLen+int(plen) {
+			break // torn payload
+		}
+		payload := rest[headerLen : headerLen+int(plen)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // corrupt payload ⇒ stop replay here
+		}
+		if err := db.apply(payload); err != nil {
+			return 0, err
+		}
+		off += int64(headerLen + int(plen))
+	}
+	return off, nil
+}
+
+// apply interprets one payload against the in-memory index.
+func (db *DB) apply(payload []byte) error {
+	if len(payload) < 5 {
+		return fmt.Errorf("provdb: record too short (%d bytes)", len(payload))
+	}
+	op := payload[0]
+	klen := binary.LittleEndian.Uint32(payload[1:5])
+	if len(payload) < 5+int(klen) {
+		return fmt.Errorf("provdb: record key length %d exceeds payload", klen)
+	}
+	key := string(payload[5 : 5+klen])
+	switch op {
+	case opPut:
+		val := make([]byte, len(payload)-5-int(klen))
+		copy(val, payload[5+int(klen):])
+		if old, ok := db.index[key]; ok {
+			db.liveBytes -= int64(len(old) + len(key))
+		}
+		db.index[key] = val
+		db.liveBytes += int64(len(val) + len(key))
+	case opDelete:
+		if old, ok := db.index[key]; ok {
+			db.liveBytes -= int64(len(old) + len(key))
+		}
+		delete(db.index, key)
+	default:
+		return fmt.Errorf("provdb: unknown record op %d", op)
+	}
+	return nil
+}
+
+func encodeRecord(op byte, key string, value []byte) []byte {
+	payload := make([]byte, 5+len(key)+len(value))
+	payload[0] = op
+	binary.LittleEndian.PutUint32(payload[1:5], uint32(len(key)))
+	copy(payload[5:], key)
+	copy(payload[5+len(key):], value)
+	rec := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[headerLen:], payload)
+	return rec
+}
+
+// writeRecord appends one record to the log.
+func (db *DB) writeRecord(op byte, key string, value []byte) error {
+	if db.f == nil {
+		return ErrClosed
+	}
+	rec := encodeRecord(op, key, value)
+	if _, err := db.f.Write(rec); err != nil {
+		return fmt.Errorf("provdb: appending record: %w", err)
+	}
+	db.logBytes += int64(len(rec))
+	return nil
+}
+
+// Put stores value under key, replacing any previous value.
+func (db *DB) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("provdb: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.writeRecord(opPut, key, value); err != nil {
+		return err
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	if old, ok := db.index[key]; ok {
+		db.liveBytes -= int64(len(old) + len(key))
+	}
+	db.index[key] = v
+	db.liveBytes += int64(len(v) + len(key))
+	return nil
+}
+
+// Get returns the value stored under key.
+func (db *DB) Get(key string) ([]byte, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, ok := db.index[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Delete removes key. Deleting a missing key is a no-op (no tombstone is
+// written).
+func (db *DB) Delete(key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.index[key]; !ok {
+		return nil
+	}
+	if err := db.writeRecord(opDelete, key, nil); err != nil {
+		return err
+	}
+	db.liveBytes -= int64(len(db.index[key]) + len(key))
+	delete(db.index, key)
+	return nil
+}
+
+// Len returns the number of live keys.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.index)
+}
+
+// Keys returns all live keys in sorted order.
+func (db *DB) Keys() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.index))
+	for k := range db.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls fn for each live key in sorted order until fn returns false.
+func (db *DB) Range(fn func(key string, value []byte) bool) {
+	for _, k := range db.Keys() {
+		v, ok := db.Get(k)
+		if !ok {
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// GarbageRatio reports the fraction of log bytes occupied by dead records —
+// a compaction trigger for callers.
+func (db *DB) GarbageRatio() float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.logBytes == 0 {
+		return 0
+	}
+	dead := db.logBytes - db.liveBytes
+	if dead < 0 {
+		dead = 0
+	}
+	return float64(dead) / float64(db.logBytes)
+}
+
+// Compact rewrites the log keeping only live records, then atomically
+// replaces the old log.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.f == nil {
+		return ErrClosed
+	}
+	tmpPath := db.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("provdb: creating compaction file: %w", err)
+	}
+	keys := make([]string, 0, len(db.index))
+	for k := range db.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var written int64
+	for _, k := range keys {
+		rec := encodeRecord(opPut, k, db.index[k])
+		if _, err := tmp.Write(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("provdb: writing compaction file: %w", err)
+		}
+		written += int64(len(rec))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := db.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, db.path); err != nil {
+		return fmt.Errorf("provdb: swapping compacted log: %w", err)
+	}
+	f, err := os.OpenFile(db.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("provdb: reopening after compaction: %w", err)
+	}
+	db.f = f
+	db.logBytes = written
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.f == nil {
+		return ErrClosed
+	}
+	return db.f.Sync()
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.f == nil {
+		return nil
+	}
+	err := db.f.Close()
+	db.f = nil
+	return err
+}

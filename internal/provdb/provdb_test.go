@@ -1,0 +1,342 @@
+package provdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*DB, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prov.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := openTemp(t)
+	defer db.Close()
+	if _, ok := db.Get("k"); ok {
+		t.Fatal("missing key should not be found")
+	}
+	if err := db.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	if err := db.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Get("k"); string(v) != "v2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if err := db.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := db.Delete("k"); err != nil {
+		t.Fatal("deleting a missing key must be a no-op")
+	}
+	if db.Len() != 0 {
+		t.Fatalf("len = %d", db.Len())
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	db, _ := openTemp(t)
+	defer db.Close()
+	if err := db.Put("", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db, _ := openTemp(t)
+	defer db.Close()
+	db.Put("k", []byte("orig"))
+	v, _ := db.Get("k")
+	v[0] = 'X'
+	v2, _ := db.Get("k")
+	if string(v2) != "orig" {
+		t.Fatal("Get must return a copy")
+	}
+	// Mutating the caller's slice after Put must not affect the store.
+	val := []byte("abc")
+	db.Put("m", val)
+	val[0] = 'Z'
+	got, _ := db.Get("m")
+	if string(got) != "abc" {
+		t.Fatal("Put must copy the value")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	db, path := openTemp(t)
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	db.Delete("key-050")
+	db.Put("key-051", []byte("overwritten"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 99 {
+		t.Fatalf("len after reopen = %d, want 99", db2.Len())
+	}
+	if _, ok := db2.Get("key-050"); ok {
+		t.Fatal("delete not persisted")
+	}
+	if v, _ := db2.Get("key-051"); string(v) != "overwritten" {
+		t.Fatalf("overwrite not persisted: %q", v)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	db, path := openTemp(t)
+	db.Put("a", []byte("1"))
+	db.Put("b", []byte("2"))
+	db.Close()
+	// Simulate a crash mid-write: append garbage that looks like a
+	// partial record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0x01, 0x02}) // torn header
+	f.Close()
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail must be recoverable: %v", err)
+	}
+	defer db2.Close()
+	if db2.Len() != 2 {
+		t.Fatalf("len = %d, want 2", db2.Len())
+	}
+	// The torn bytes were truncated: further writes then reopen work.
+	db2.Put("c", []byte("3"))
+	db2.Close()
+	db3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if v, ok := db3.Get("c"); !ok || string(v) != "3" {
+		t.Fatalf("write after recovery lost: %q %v", v, ok)
+	}
+}
+
+func TestCorruptPayloadStopsReplay(t *testing.T) {
+	db, path := openTemp(t)
+	db.Put("a", []byte("1"))
+	db.Put("b", []byte("2"))
+	db.Close()
+	// Flip a byte inside the second record's payload.
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Get("a"); !ok {
+		t.Fatal("first record should survive")
+	}
+	if _, ok := db2.Get("b"); ok {
+		t.Fatal("corrupt record should be dropped")
+	}
+}
+
+func TestKeysSortedAndRange(t *testing.T) {
+	db, _ := openTemp(t)
+	defer db.Close()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		db.Put(k, []byte(k))
+	}
+	keys := db.Keys()
+	if len(keys) != 3 || keys[0] != "alpha" || keys[1] != "mid" || keys[2] != "zeta" {
+		t.Fatalf("keys = %v", keys)
+	}
+	var visited []string
+	db.Range(func(k string, v []byte) bool {
+		visited = append(visited, k)
+		return k != "mid" // stop after mid
+	})
+	if len(visited) != 2 || visited[1] != "mid" {
+		t.Fatalf("range visited %v", visited)
+	}
+}
+
+func TestCompactShrinksLogAndPreservesData(t *testing.T) {
+	db, path := openTemp(t)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 10; j++ {
+			db.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{'x'}, 100))
+		}
+	}
+	for i := 25; i < 50; i++ {
+		db.Delete(fmt.Sprintf("k%02d", i))
+	}
+	before, _ := os.Stat(path)
+	if db.GarbageRatio() < 0.5 {
+		t.Fatalf("garbage ratio = %g, expected substantial garbage", db.GarbageRatio())
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	if db.Len() != 25 {
+		t.Fatalf("len after compact = %d", db.Len())
+	}
+	// Writes after compaction persist.
+	db.Put("post", []byte("compaction"))
+	db.Close()
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 26 {
+		t.Fatalf("reopen after compact: len = %d", db2.Len())
+	}
+	if v, _ := db2.Get("k00"); len(v) != 100 {
+		t.Fatalf("value lost: %d bytes", len(v))
+	}
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	db, _ := openTemp(t)
+	db.Close()
+	if err := db.Put("k", nil); err == nil {
+		t.Fatal("Put on closed DB must fail")
+	}
+	if err := db.Compact(); err == nil {
+		t.Fatal("Compact on closed DB must fail")
+	}
+	if err := db.Sync(); err == nil {
+		t.Fatal("Sync on closed DB must fail")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("double Close must be a no-op")
+	}
+}
+
+// Property: the database agrees with a plain map under a random operation
+// sequence, including a reopen at the end.
+func TestModelEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir, err := os.MkdirTemp("", "provdb")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "db")
+		db, err := Open(path)
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		keys := []string{"a", "b", "c", "d", "e"}
+		for i := 0; i < 200; i++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", rng.Intn(1000))
+				if db.Put(k, []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			case 2:
+				if db.Delete(k) != nil {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if db.Compact() != nil {
+				return false
+			}
+		}
+		db.Close()
+		db2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		if db2.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := db2.Get(k)
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db, _ := openTemp(t)
+	defer db.Close()
+	const goroutines = 8
+	const opsEach = 300
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%20)
+				switch i % 4 {
+				case 0, 1:
+					if err := db.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+						done <- err
+						return
+					}
+				case 2:
+					db.Get(key)
+				case 3:
+					if err := db.Delete(key); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	// Compact concurrently with the writers.
+	go func() { done <- db.Compact() }()
+	for i := 0; i < goroutines+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The log replays cleanly afterwards.
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"hiway/internal/provdb"
+)
+
+// DBStore persists provenance events in an embedded provdb database — the
+// stand-in for the paper's MySQL/Couchbase backends, intended for
+// heavily-used installations with thousands of trace files. Keys are
+// monotonically increasing sequence numbers, so Events() returns records in
+// append order and ad-hoc queries can Range over the database directly.
+type DBStore struct {
+	mu  sync.Mutex
+	db  *provdb.DB
+	seq int64
+}
+
+// NewDBStore wraps an open database. Existing events are preserved;
+// appends continue after the highest existing sequence number.
+func NewDBStore(db *provdb.DB) *DBStore {
+	s := &DBStore{db: db}
+	keys := db.Keys()
+	if len(keys) > 0 {
+		// Keys sort lexicographically; fixed-width encoding makes the
+		// last key the highest sequence number.
+		last := keys[len(keys)-1]
+		var n int64
+		fmt.Sscanf(last, "ev%020d", &n)
+		s.seq = n
+	}
+	return s
+}
+
+// Append implements Store.
+func (s *DBStore) Append(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("provenance: encoding event %s: %w", ev.ID, err)
+	}
+	s.seq++
+	return s.db.Put(fmt.Sprintf("ev%020d", s.seq), b)
+}
+
+// Events implements Store.
+func (s *DBStore) Events() ([]Event, error) {
+	var events []Event
+	var firstErr error
+	s.db.Range(func(key string, value []byte) bool {
+		var ev Event
+		if err := json.Unmarshal(value, &ev); err != nil {
+			firstErr = fmt.Errorf("provenance: decoding %s: %w", key, err)
+			return false
+		}
+		events = append(events, ev)
+		return true
+	})
+	return events, firstErr
+}
+
+// Close implements Store.
+func (s *DBStore) Close() error { return s.db.Close() }

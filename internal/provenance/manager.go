@@ -1,0 +1,202 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hiway/internal/wf"
+)
+
+// Manager gathers, stores, and serves provenance (§3.5). It appends every
+// event to the configured Store and maintains in-memory indexes that answer
+// the Workflow Scheduler's queries: the latest observed runtime of a task
+// signature on a compute node, the set of nodes a signature has run on, and
+// observed file sizes and transfer times.
+//
+// Following the paper's estimation strategy, the runtime estimate for a
+// (signature, node) pair is always the latest observation, so the scheduler
+// adapts quickly to performance changes in the infrastructure.
+type Manager struct {
+	mu    sync.Mutex
+	store Store
+
+	lastRuntime map[string]map[string]float64 // signature → node → latest duration
+	fileSizes   map[string]float64            // path → size MB
+	transferSec map[string]float64            // path → latest transfer time
+	signatures  map[string]bool
+	nodes       map[string]bool
+
+	taskCount     int64
+	workflowCount int64
+}
+
+// NewManager creates a manager over the given store. Existing events in the
+// store are loaded into the indexes, so provenance from earlier workflow
+// runs immediately informs adaptive scheduling (the mechanism behind the
+// paper's Fig. 9).
+func NewManager(store Store) (*Manager, error) {
+	m := &Manager{
+		store:       store,
+		lastRuntime: make(map[string]map[string]float64),
+		fileSizes:   make(map[string]float64),
+		transferSec: make(map[string]float64),
+		signatures:  make(map[string]bool),
+		nodes:       make(map[string]bool),
+	}
+	events, err := store.Events()
+	if err != nil {
+		return nil, fmt.Errorf("provenance: loading prior events: %w", err)
+	}
+	for _, ev := range events {
+		m.index(ev)
+	}
+	return m, nil
+}
+
+// Store exposes the underlying store (e.g. to re-read a trace).
+func (m *Manager) Store() Store { return m.store }
+
+// Record appends an event and updates the indexes.
+func (m *Manager) Record(ev Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.store.Append(ev); err != nil {
+		return err
+	}
+	m.index(ev)
+	return nil
+}
+
+// RecordWorkflowStart emits a workflow-start event.
+func (m *Manager) RecordWorkflowStart(wfID, wfName string, at float64) error {
+	return m.Record(Event{
+		ID: wfID + "-start", Type: WorkflowStart, Timestamp: at,
+		WorkflowID: wfID, WorkflowName: wfName,
+	})
+}
+
+// RecordWorkflowEnd emits a workflow-end event with the total makespan.
+func (m *Manager) RecordWorkflowEnd(wfID, wfName string, at, makespan float64, ok bool) error {
+	return m.Record(Event{
+		ID: wfID + "-end", Type: WorkflowEnd, Timestamp: at,
+		WorkflowID: wfID, WorkflowName: wfName,
+		DurationSec: makespan, Succeeded: ok,
+	})
+}
+
+// RecordTaskStart emits a task-start event.
+func (m *Manager) RecordTaskStart(wfID, wfName string, t *wf.Task, node string, at float64) error {
+	return m.Record(Event{
+		ID:   fmt.Sprintf("%s-task-%d-start", wfID, t.ID),
+		Type: TaskStart, Timestamp: at,
+		WorkflowID: wfID, WorkflowName: wfName,
+		TaskID: t.ID, Signature: t.Name, Command: t.Command, Node: node,
+	})
+}
+
+// RecordTaskEnd emits the task-end event (with file-level records) for a
+// completed result.
+func (m *Manager) RecordTaskEnd(wfID, wfName string, res *wf.TaskResult, inputSizes map[string]float64) error {
+	return m.Record(TaskEndEvent(wfID, wfName, res, inputSizes))
+}
+
+// index updates the scheduler-facing indexes from one event.
+func (m *Manager) index(ev Event) {
+	switch ev.Type {
+	case TaskEnd:
+		m.taskCount++
+		if ev.Signature == "" {
+			return
+		}
+		m.signatures[ev.Signature] = true
+		if ev.Node != "" {
+			m.nodes[ev.Node] = true
+			byNode := m.lastRuntime[ev.Signature]
+			if byNode == nil {
+				byNode = make(map[string]float64)
+				m.lastRuntime[ev.Signature] = byNode
+			}
+			byNode[ev.Node] = ev.DurationSec
+		}
+		for _, f := range append(append([]FileEvent{}, ev.Inputs...), ev.Outputs...) {
+			if f.SizeMB > 0 {
+				m.fileSizes[f.Path] = f.SizeMB
+			}
+			if f.TransferSec > 0 {
+				m.transferSec[f.Path] = f.TransferSec
+			}
+		}
+	case WorkflowEnd:
+		m.workflowCount++
+	}
+}
+
+// LastRuntime returns the latest observed duration of signature on node.
+// Per the paper, unobserved pairs report ok=false and the scheduler assumes
+// a default of zero to encourage trying out new assignments.
+func (m *Manager) LastRuntime(signature, node string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byNode, ok := m.lastRuntime[signature]
+	if !ok {
+		return 0, false
+	}
+	d, ok := byNode[node]
+	return d, ok
+}
+
+// MeanRuntime returns the mean of the latest observations of signature
+// across nodes — HEFT's node-independent ranking input.
+func (m *Manager) MeanRuntime(signature string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byNode, ok := m.lastRuntime[signature]
+	if !ok || len(byNode) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, d := range byNode {
+		sum += d
+	}
+	return sum / float64(len(byNode)), true
+}
+
+// ObservedNodes returns the nodes that signature has run on, sorted.
+func (m *Manager) ObservedNodes(signature string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for n := range m.lastRuntime[signature] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Signatures returns all observed task signatures, sorted.
+func (m *Manager) Signatures() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for s := range m.signatures {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FileSizeMB returns the latest observed size of a file.
+func (m *Manager) FileSizeMB(path string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.fileSizes[path]
+	return s, ok
+}
+
+// Counts returns the number of indexed task-end and workflow-end events.
+func (m *Manager) Counts() (tasks, workflows int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.taskCount, m.workflowCount
+}

@@ -1,0 +1,225 @@
+package provenance
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hiway/internal/provdb"
+	"hiway/internal/wf"
+)
+
+func sampleResult(sig, node string, dur float64) *wf.TaskResult {
+	task := wf.NewTask(sig, []string{"in.dat"}, []wf.FileInfo{{Path: "out.dat", SizeMB: 10}})
+	task.CPUSeconds = 30
+	task.Threads = 2
+	task.MemMB = 1024
+	task.Command = sig + " --run"
+	return &wf.TaskResult{
+		Task:       task,
+		Node:       node,
+		Start:      100,
+		End:        100 + dur,
+		StageInSec: 1, ExecSec: dur - 2, StageOutSec: 1,
+		Outputs: map[string][]wf.FileInfo{"out": task.Declared["out"]},
+	}
+}
+
+func TestManagerRecordsAndIndexes(t *testing.T) {
+	m, err := NewManager(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RecordWorkflowStart("wf1", "snv", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult("bowtie2", "node-00", 120)
+	if err := m.RecordTaskStart("wf1", "snv", res.Task, "node-00", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RecordTaskEnd("wf1", "snv", res, map[string]float64{"in.dat": 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RecordWorkflowEnd("wf1", "snv", 250, 250, true); err != nil {
+		t.Fatal(err)
+	}
+
+	if d, ok := m.LastRuntime("bowtie2", "node-00"); !ok || d != 120 {
+		t.Fatalf("LastRuntime = %g %v", d, ok)
+	}
+	if _, ok := m.LastRuntime("bowtie2", "node-99"); ok {
+		t.Fatal("unobserved node must report ok=false")
+	}
+	if _, ok := m.LastRuntime("ghost", "node-00"); ok {
+		t.Fatal("unobserved signature must report ok=false")
+	}
+	if nodes := m.ObservedNodes("bowtie2"); len(nodes) != 1 || nodes[0] != "node-00" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if sigs := m.Signatures(); len(sigs) != 1 || sigs[0] != "bowtie2" {
+		t.Fatalf("signatures = %v", sigs)
+	}
+	if s, ok := m.FileSizeMB("out.dat"); !ok || s != 10 {
+		t.Fatalf("file size = %g %v", s, ok)
+	}
+	if s, ok := m.FileSizeMB("in.dat"); !ok || s != 5 {
+		t.Fatalf("input size = %g %v", s, ok)
+	}
+	tasks, wfs := m.Counts()
+	if tasks != 1 || wfs != 1 {
+		t.Fatalf("counts = %d %d", tasks, wfs)
+	}
+	events, _ := m.Store().Events()
+	if len(events) != 4 {
+		t.Fatalf("stored %d events, want 4", len(events))
+	}
+}
+
+func TestLatestObservationWins(t *testing.T) {
+	m, _ := NewManager(NewMemStore())
+	m.RecordTaskEnd("wf", "w", sampleResult("tool", "n1", 100), nil)
+	m.RecordTaskEnd("wf", "w", sampleResult("tool", "n1", 50), nil)
+	if d, _ := m.LastRuntime("tool", "n1"); d != 50 {
+		t.Fatalf("latest runtime = %g, want 50 (the paper uses the latest observation)", d)
+	}
+}
+
+func TestMeanRuntimeAcrossNodes(t *testing.T) {
+	m, _ := NewManager(NewMemStore())
+	if _, ok := m.MeanRuntime("tool"); ok {
+		t.Fatal("mean of nothing must be not-ok")
+	}
+	m.RecordTaskEnd("wf", "w", sampleResult("tool", "n1", 100), nil)
+	m.RecordTaskEnd("wf", "w", sampleResult("tool", "n2", 200), nil)
+	if mean, ok := m.MeanRuntime("tool"); !ok || mean != 150 {
+		t.Fatalf("mean = %g %v", mean, ok)
+	}
+}
+
+func TestManagerLoadsPriorEvents(t *testing.T) {
+	store := NewMemStore()
+	m1, _ := NewManager(store)
+	m1.RecordTaskEnd("wf1", "w", sampleResult("tool", "n1", 77), nil)
+	// A second manager over the same store sees the earlier run — the
+	// mechanism behind Fig. 9's consecutive executions.
+	m2, err := NewManager(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := m2.LastRuntime("tool", "n1"); !ok || d != 77 {
+		t.Fatalf("prior run not loaded: %g %v", d, ok)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewManager(fs)
+	m.RecordWorkflowStart("wf1", "demo", 0)
+	m.RecordTaskEnd("wf1", "demo", sampleResult("tool", "n1", 10), nil)
+	events, err := fs.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Signature != "tool" {
+		t.Fatalf("events = %+v", events)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(Event{}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	// Reopen appends rather than truncating.
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	fs2.Append(Event{ID: "x", Type: WorkflowEnd})
+	events, _ = fs2.Events()
+	if len(events) != 3 {
+		t.Fatalf("after reopen: %d events", len(events))
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	if _, err := ParseTrace("not-json\n"); err == nil {
+		t.Fatal("garbage line must error")
+	}
+	evs, err := ParseTrace("\n\n")
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank trace: %v %v", evs, err)
+	}
+}
+
+func TestDBStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.db")
+	db, err := provdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewDBStore(db)
+	m, _ := NewManager(store)
+	for i := 0; i < 5; i++ {
+		m.RecordTaskEnd("wf1", "demo", sampleResult("tool", "n1", float64(10+i)), nil)
+	}
+	events, err := store.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Append order preserved (fixed-width keys).
+	for i := 1; i < len(events); i++ {
+		if events[i].DurationSec <= events[i-1].DurationSec {
+			t.Fatalf("order broken: %v", events)
+		}
+	}
+	store.Close()
+
+	// Reopen: sequence continues, prior events inform a new manager.
+	db2, err := provdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2 := NewDBStore(db2)
+	defer store2.Close()
+	m2, err := NewManager(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := m2.LastRuntime("tool", "n1"); !ok || d != 14 {
+		t.Fatalf("latest after reopen = %g %v", d, ok)
+	}
+	m2.RecordTaskEnd("wf2", "demo", sampleResult("tool", "n2", 99), nil)
+	events, _ = store2.Events()
+	if len(events) != 6 {
+		t.Fatalf("after reopen append: %d events", len(events))
+	}
+}
+
+func TestTaskEndEventFields(t *testing.T) {
+	res := sampleResult("varscan", "node-07", 60)
+	res.Stdout = "ok"
+	ev := TaskEndEvent("wfX", "snv", res, map[string]float64{"in.dat": 3})
+	if ev.Type != TaskEnd || ev.Signature != "varscan" || ev.Node != "node-07" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.DurationSec != 60 || ev.CPUSeconds != 30 || ev.Threads != 2 {
+		t.Fatalf("profile = %+v", ev)
+	}
+	if len(ev.Inputs) != 1 || ev.Inputs[0].SizeMB != 3 {
+		t.Fatalf("inputs = %+v", ev.Inputs)
+	}
+	if len(ev.Outputs) != 1 || ev.Outputs[0].Param != "out" {
+		t.Fatalf("outputs = %+v", ev.Outputs)
+	}
+	if !strings.Contains(ev.ID, "wfX") {
+		t.Fatalf("id = %q", ev.ID)
+	}
+}

@@ -1,0 +1,175 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file provides the ad-hoc query and aggregation layer the paper
+// motivates for database-backed provenance (§3.5: "the usage of a database
+// ... brings the added benefit of facilitating manual queries and
+// aggregation"). Queries run over any Store.
+
+// TaskSummary aggregates the executions of one task signature.
+type TaskSummary struct {
+	Signature   string
+	Count       int
+	MeanSec     float64
+	MinSec      float64
+	MaxSec      float64
+	TotalSec    float64
+	NodesSeen   int
+	FailedCount int
+}
+
+// SummarizeTasks aggregates all task-end events by signature, sorted by
+// total time descending — "where did the hours go?".
+func SummarizeTasks(store Store) ([]TaskSummary, error) {
+	events, err := store.Events()
+	if err != nil {
+		return nil, err
+	}
+	type acc struct {
+		TaskSummary
+		nodes map[string]bool
+	}
+	bySig := map[string]*acc{}
+	for _, ev := range events {
+		if ev.Type != TaskEnd {
+			continue
+		}
+		a := bySig[ev.Signature]
+		if a == nil {
+			a = &acc{TaskSummary: TaskSummary{Signature: ev.Signature, MinSec: ev.DurationSec}, nodes: map[string]bool{}}
+			bySig[ev.Signature] = a
+		}
+		a.Count++
+		a.TotalSec += ev.DurationSec
+		if ev.DurationSec < a.MinSec {
+			a.MinSec = ev.DurationSec
+		}
+		if ev.DurationSec > a.MaxSec {
+			a.MaxSec = ev.DurationSec
+		}
+		if ev.Node != "" {
+			a.nodes[ev.Node] = true
+		}
+		if ev.ExitCode != 0 || ev.Error != "" {
+			a.FailedCount++
+		}
+	}
+	out := make([]TaskSummary, 0, len(bySig))
+	for _, a := range bySig {
+		a.MeanSec = a.TotalSec / float64(a.Count)
+		a.NodesSeen = len(a.nodes)
+		out = append(out, a.TaskSummary)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalSec != out[j].TotalSec {
+			return out[i].TotalSec > out[j].TotalSec
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out, nil
+}
+
+// WorkflowSummary aggregates one workflow run.
+type WorkflowSummary struct {
+	WorkflowID   string
+	WorkflowName string
+	MakespanSec  float64
+	Tasks        int
+	Succeeded    bool
+}
+
+// SummarizeWorkflows lists all recorded workflow runs in trace order.
+func SummarizeWorkflows(store Store) ([]WorkflowSummary, error) {
+	events, err := store.Events()
+	if err != nil {
+		return nil, err
+	}
+	order := []string{}
+	byID := map[string]*WorkflowSummary{}
+	for _, ev := range events {
+		switch ev.Type {
+		case WorkflowStart:
+			if _, ok := byID[ev.WorkflowID]; !ok {
+				byID[ev.WorkflowID] = &WorkflowSummary{WorkflowID: ev.WorkflowID, WorkflowName: ev.WorkflowName}
+				order = append(order, ev.WorkflowID)
+			}
+		case TaskEnd:
+			if w := byID[ev.WorkflowID]; w != nil {
+				w.Tasks++
+			}
+		case WorkflowEnd:
+			if w := byID[ev.WorkflowID]; w != nil {
+				w.MakespanSec = ev.DurationSec
+				w.Succeeded = ev.Succeeded
+			}
+		}
+	}
+	out := make([]WorkflowSummary, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, nil
+}
+
+// NodeUsage aggregates busy time per compute node.
+type NodeUsage struct {
+	Node     string
+	Tasks    int
+	BusySec  float64
+	MeanSec  float64
+	Failures int
+}
+
+// SummarizeNodes aggregates task-end events per node, sorted by busy time
+// descending — the skew view behind adaptive scheduling decisions.
+func SummarizeNodes(store Store) ([]NodeUsage, error) {
+	events, err := store.Events()
+	if err != nil {
+		return nil, err
+	}
+	byNode := map[string]*NodeUsage{}
+	for _, ev := range events {
+		if ev.Type != TaskEnd || ev.Node == "" {
+			continue
+		}
+		u := byNode[ev.Node]
+		if u == nil {
+			u = &NodeUsage{Node: ev.Node}
+			byNode[ev.Node] = u
+		}
+		u.Tasks++
+		u.BusySec += ev.DurationSec
+		if ev.ExitCode != 0 || ev.Error != "" {
+			u.Failures++
+		}
+	}
+	out := make([]NodeUsage, 0, len(byNode))
+	for _, u := range byNode {
+		u.MeanSec = u.BusySec / float64(u.Tasks)
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BusySec != out[j].BusySec {
+			return out[i].BusySec > out[j].BusySec
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}
+
+// RenderTaskSummaries formats SummarizeTasks output as a text table.
+func RenderTaskSummaries(sums []TaskSummary) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %6s %9s %9s %9s %10s %6s %6s\n",
+		"signature", "count", "mean (s)", "min (s)", "max (s)", "total (s)", "nodes", "failed")
+	for _, s := range sums {
+		fmt.Fprintf(&sb, "%-16s %6d %9.2f %9.2f %9.2f %10.2f %6d %6d\n",
+			s.Signature, s.Count, s.MeanSec, s.MinSec, s.MaxSec, s.TotalSec, s.NodesSeen, s.FailedCount)
+	}
+	return sb.String()
+}

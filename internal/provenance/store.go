@@ -1,0 +1,141 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Store is long-term storage for provenance events. Implementations:
+// MemStore (in-process), FileStore (JSONL trace file, the paper's default),
+// and the provdb-backed store in internal/provdb (the MySQL/Couchbase
+// alternative for heavily-used installations).
+type Store interface {
+	Append(ev Event) error
+	// Events returns all stored events in append order.
+	Events() ([]Event, error)
+	Close() error
+}
+
+// MemStore keeps events in memory. The zero value is ready to use.
+type MemStore struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (s *MemStore) Append(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, ev)
+	return nil
+}
+
+// Events implements Store.
+func (s *MemStore) Events() ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore appends events as JSON lines to a trace file — the format the
+// paper stores in HDFS and that package lang/trace re-executes.
+type FileStore struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenFileStore opens (creating or appending to) a JSONL trace file.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("provenance: opening trace file: %w", err)
+	}
+	return &FileStore{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append implements Store.
+func (s *FileStore) Append(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("provenance: store %s is closed", s.path)
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("provenance: encoding event %s: %w", ev.ID, err)
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("provenance: writing trace: %w", err)
+	}
+	return s.w.Flush()
+}
+
+// Events implements Store by re-reading the trace file.
+func (s *FileStore) Events() ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("provenance: reading trace file: %w", err)
+	}
+	return ParseTrace(string(data))
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	s.w = nil
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// ParseTrace decodes a JSONL trace text into events, skipping blank lines.
+func ParseTrace(text string) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("provenance: trace line %d: %w", lineNo, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("provenance: scanning trace: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,99 @@
+package scheduler
+
+import "hiway/internal/wf"
+
+// AdaptiveGreedy is a dynamic, provenance-driven policy of the kind §3.4
+// announces as follow-up work to the static HEFT: when YARN allocates a
+// container, it picks — among all queued tasks — the one whose runtime
+// estimate on the hosting node compares most favorably to that task's mean
+// runtime across nodes. Unlike HEFT it needs no upfront plan, so it also
+// works for iterative workflows; unlike plain data-aware scheduling it
+// adapts to heterogeneous *compute* performance rather than data locality.
+//
+// Estimates follow the paper's strategy: the latest observation per
+// (signature, node), with unobserved pairs treated as zero so that new
+// assignments get explored.
+type AdaptiveGreedy struct {
+	est   Estimator
+	queue []*wf.Task
+
+	// declineBudget bounds how often the policy may turn down an
+	// allocated container on a node known to be much slower than average
+	// (the AM then re-requests elsewhere). A finite budget guarantees
+	// progress even when every node looks bad.
+	declineBudget int
+	// declineFactor: decline when the best candidate's estimate on this
+	// node exceeds declineFactor × its mean. Unobserved pairs estimate
+	// zero and are never declined, preserving exploration.
+	declineFactor float64
+}
+
+// NewAdaptiveGreedy returns the policy backed by the estimator.
+func NewAdaptiveGreedy(est Estimator) *AdaptiveGreedy {
+	return &AdaptiveGreedy{est: est, declineBudget: 64, declineFactor: 3}
+}
+
+// Name implements Scheduler.
+func (s *AdaptiveGreedy) Name() string { return "adaptive-greedy" }
+
+// OnTaskReady implements Scheduler.
+func (s *AdaptiveGreedy) OnTaskReady(t *wf.Task) { s.queue = append(s.queue, t) }
+
+// Placement implements Scheduler: fully dynamic, no pinning.
+func (s *AdaptiveGreedy) Placement(*wf.Task) (string, bool) { return "", false }
+
+// Select implements Scheduler: maximize the relative advantage of running
+// each candidate on this node. advantage = mean(sig) − est(sig, node); an
+// unobserved pair estimates zero, making exploration maximally attractive,
+// exactly like HEFT's default-zero strategy. If even the best candidate is
+// known to run declineFactor× slower here than its cross-node mean, the
+// container is declined (nil) while the decline budget lasts; the AM
+// re-requests a container elsewhere.
+func (s *AdaptiveGreedy) Select(node string) *wf.Task {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	best := 0
+	bestAdv := s.advantage(s.queue[0], node)
+	for i := 1; i < len(s.queue); i++ {
+		if adv := s.advantage(s.queue[i], node); adv > bestAdv {
+			best, bestAdv = i, adv
+		}
+	}
+	t := s.queue[best]
+	if s.declineBudget > 0 && s.shouldDecline(t, node) {
+		s.declineBudget--
+		return nil
+	}
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return t
+}
+
+// shouldDecline reports whether the task is known to run far slower on the
+// node than its mean suggests.
+func (s *AdaptiveGreedy) shouldDecline(t *wf.Task, node string) bool {
+	mean, ok := s.est.MeanRuntime(t.Name)
+	if !ok || mean <= 0 {
+		return false
+	}
+	last, ok := s.est.LastRuntime(t.Name, node)
+	if !ok {
+		return false // unobserved: explore instead
+	}
+	return last > s.declineFactor*mean
+}
+
+func (s *AdaptiveGreedy) advantage(t *wf.Task, node string) float64 {
+	mean, ok := s.est.MeanRuntime(t.Name)
+	if !ok {
+		return 0 // nothing known about the signature: neutral
+	}
+	last, ok := s.est.LastRuntime(t.Name, node)
+	if !ok {
+		last = 0 // unobserved here: explore
+	}
+	return mean - last
+}
+
+// Queued implements Scheduler.
+func (s *AdaptiveGreedy) Queued() int { return len(s.queue) }

@@ -1,0 +1,190 @@
+// Package scheduler implements Hi-WAY's Workflow Scheduler policies (§3.4):
+//
+//   - FCFS: first-come-first-served queueing, the baseline most SWfMSs use;
+//   - data-aware (Hi-WAY's default): when a container is allocated, pick the
+//     pending task with the highest fraction of input data already local to
+//     the hosting node;
+//   - static round-robin: pre-assign tasks to nodes in turn;
+//   - static HEFT: heterogeneous-earliest-finish-time planning driven by
+//     runtime estimates from the Provenance Manager, with a default estimate
+//     of zero for untried task/node pairs to encourage exploration.
+//
+// This higher-level scheduler is distinct from YARN's internal schedulers:
+// it decides which *task* runs in an allocated container, and (for static
+// policies) on which node containers must be placed.
+package scheduler
+
+import (
+	"fmt"
+
+	"hiway/internal/wf"
+)
+
+// NodeInfo describes one compute node to static planners.
+type NodeInfo struct {
+	ID     string
+	VCores int
+	MemMB  int
+}
+
+// Estimator answers runtime-estimate queries; provenance.Manager implements
+// it. Estimates follow the paper's strategy: the latest observation for a
+// (signature, node) pair, with zero assumed for unobserved pairs.
+type Estimator interface {
+	LastRuntime(signature, node string) (float64, bool)
+	MeanRuntime(signature string) (float64, bool)
+}
+
+// LocalityOracle answers data-locality queries; hdfs.FS implements it.
+type LocalityOracle interface {
+	LocalFraction(paths []string, nodeID string) float64
+}
+
+// Scheduler assigns ready tasks to allocated containers.
+type Scheduler interface {
+	// Name identifies the policy.
+	Name() string
+	// OnTaskReady enqueues a task whose data dependencies are met.
+	OnTaskReady(t *wf.Task)
+	// Placement returns the container request hint for the task: a node
+	// preference and whether it is strict. Dynamic policies return
+	// ("", false); static policies pin tasks to their planned node.
+	Placement(t *wf.Task) (node string, strict bool)
+	// Select removes and returns the queued task to run in a container on
+	// the given node, or nil if no suitable task is queued.
+	Select(node string) *wf.Task
+	// Queued reports how many ready tasks await a container.
+	Queued() int
+}
+
+// StaticPlanner is implemented by static policies (round-robin, HEFT) that
+// build their whole schedule before execution starts. Plan must be called
+// once, after parsing, with the complete DAG — hence static policies are
+// incompatible with iterative languages like Cuneiform (§3.4).
+type StaticPlanner interface {
+	Scheduler
+	Plan(dag *wf.DAG, nodes []NodeInfo) error
+}
+
+// Reassigner is implemented by static policies whose plan can be amended
+// when a task must be retried on a different node after a failure.
+type Reassigner interface {
+	Reassign(t *wf.Task, node string)
+}
+
+// Deps carries the services policies may need.
+type Deps struct {
+	Locality  LocalityOracle
+	Estimator Estimator
+}
+
+// Policy names accepted by New.
+const (
+	PolicyFCFS           = "fcfs"
+	PolicyDataAware      = "dataaware"
+	PolicyRoundRobin     = "roundrobin"
+	PolicyHEFT           = "heft"
+	PolicyAdaptiveGreedy = "adaptive"
+)
+
+// New builds a scheduler by policy name. The data-aware policy requires a
+// locality oracle; HEFT requires an estimator.
+func New(policy string, deps Deps) (Scheduler, error) {
+	switch policy {
+	case PolicyFCFS, "greedy", "":
+		return NewFCFS(), nil
+	case PolicyDataAware:
+		if deps.Locality == nil {
+			return nil, fmt.Errorf("scheduler: data-aware policy needs a locality oracle")
+		}
+		return NewDataAware(deps.Locality), nil
+	case PolicyRoundRobin:
+		return NewRoundRobin(), nil
+	case PolicyHEFT:
+		if deps.Estimator == nil {
+			return nil, fmt.Errorf("scheduler: HEFT policy needs a runtime estimator")
+		}
+		return NewHEFT(deps.Estimator), nil
+	case PolicyAdaptiveGreedy:
+		if deps.Estimator == nil {
+			return nil, fmt.Errorf("scheduler: adaptive-greedy policy needs a runtime estimator")
+		}
+		return NewAdaptiveGreedy(deps.Estimator), nil
+	default:
+		return nil, fmt.Errorf("scheduler: unknown policy %q", policy)
+	}
+}
+
+// FCFS runs tasks in arrival order on whatever container comes up first.
+type FCFS struct {
+	queue []*wf.Task
+}
+
+// NewFCFS returns an empty FCFS queue.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Scheduler.
+func (s *FCFS) Name() string { return PolicyFCFS }
+
+// OnTaskReady implements Scheduler.
+func (s *FCFS) OnTaskReady(t *wf.Task) { s.queue = append(s.queue, t) }
+
+// Placement implements Scheduler: FCFS expresses no preference.
+func (s *FCFS) Placement(*wf.Task) (string, bool) { return "", false }
+
+// Select implements Scheduler: pop the head of the queue.
+func (s *FCFS) Select(string) *wf.Task {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	t := s.queue[0]
+	s.queue = s.queue[1:]
+	return t
+}
+
+// Queued implements Scheduler.
+func (s *FCFS) Queued() int { return len(s.queue) }
+
+// DataAware minimizes data transfer for I/O-intensive workflows: whenever a
+// container is allocated it skims all pending tasks and selects the one
+// with the highest fraction of input data locally available (in HDFS) on
+// the hosting node. Ties fall back to arrival order.
+type DataAware struct {
+	locality LocalityOracle
+	queue    []*wf.Task
+}
+
+// NewDataAware returns the policy backed by the given locality oracle.
+func NewDataAware(locality LocalityOracle) *DataAware {
+	return &DataAware{locality: locality}
+}
+
+// Name implements Scheduler.
+func (s *DataAware) Name() string { return PolicyDataAware }
+
+// OnTaskReady implements Scheduler.
+func (s *DataAware) OnTaskReady(t *wf.Task) { s.queue = append(s.queue, t) }
+
+// Placement implements Scheduler: containers may land anywhere; the task
+// choice adapts to wherever the container was placed.
+func (s *DataAware) Placement(*wf.Task) (string, bool) { return "", false }
+
+// Select implements Scheduler.
+func (s *DataAware) Select(node string) *wf.Task {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	best, bestFrac := 0, -1.0
+	for i, t := range s.queue {
+		frac := s.locality.LocalFraction(t.Inputs, node)
+		if frac > bestFrac {
+			best, bestFrac = i, frac
+		}
+	}
+	t := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return t
+}
+
+// Queued implements Scheduler.
+func (s *DataAware) Queued() int { return len(s.queue) }

@@ -1,0 +1,281 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hiway/internal/wf"
+)
+
+// staticBase holds the machinery shared by static policies: a fixed
+// task→node assignment computed by Plan, per-node FIFO queues of ready
+// tasks, and strict container placement.
+type staticBase struct {
+	policy     string
+	assignment map[int64]string // task ID → node
+	order      map[int64]int    // task ID → dispatch priority (lower first)
+	ready      map[string][]*wf.Task
+	queued     int
+	planned    bool
+}
+
+func (s *staticBase) Name() string { return s.policy }
+
+// OnTaskReady implements Scheduler.
+func (s *staticBase) OnTaskReady(t *wf.Task) {
+	node := s.assignment[t.ID]
+	s.ready[node] = append(s.ready[node], t)
+	// Keep the per-node queue in plan priority order.
+	q := s.ready[node]
+	sort.SliceStable(q, func(i, j int) bool { return s.order[q[i].ID] < s.order[q[j].ID] })
+	s.queued++
+}
+
+// Placement implements Scheduler: static policies enforce their plan.
+func (s *staticBase) Placement(t *wf.Task) (string, bool) {
+	node, ok := s.assignment[t.ID]
+	if !ok {
+		return "", false
+	}
+	return node, true
+}
+
+// Select implements Scheduler: only tasks planned for this node qualify.
+func (s *staticBase) Select(node string) *wf.Task {
+	q := s.ready[node]
+	if len(q) == 0 {
+		return nil
+	}
+	t := q[0]
+	s.ready[node] = q[1:]
+	s.queued--
+	return t
+}
+
+// Queued implements Scheduler.
+func (s *staticBase) Queued() int { return s.queued }
+
+// Reassign re-pins a task to a different node — used by the AM when a task
+// failed on its planned node and must be retried elsewhere (§3.1).
+func (s *staticBase) Reassign(t *wf.Task, node string) {
+	s.assignment[t.ID] = node
+}
+
+func (s *staticBase) init(policy string) {
+	s.policy = policy
+	s.assignment = make(map[int64]string)
+	s.order = make(map[int64]int)
+	s.ready = make(map[string][]*wf.Task)
+}
+
+// RoundRobin assigns tasks to nodes in turn and thus in equal numbers — the
+// basic static policy of §3.4. Tasks are walked in topological order so
+// early pipeline stages spread evenly.
+type RoundRobin struct {
+	staticBase
+}
+
+// NewRoundRobin returns an unplanned round-robin scheduler.
+func NewRoundRobin() *RoundRobin {
+	rr := &RoundRobin{}
+	rr.init(PolicyRoundRobin)
+	return rr
+}
+
+// Plan implements StaticPlanner.
+func (s *RoundRobin) Plan(dag *wf.DAG, nodes []NodeInfo) error {
+	if s.planned {
+		return fmt.Errorf("scheduler: %s already planned", s.policy)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("scheduler: no nodes to plan onto")
+	}
+	for i, t := range dag.TopoOrder() {
+		s.assignment[t.ID] = nodes[i%len(nodes)].ID
+		s.order[t.ID] = i
+	}
+	s.planned = true
+	return nil
+}
+
+// HEFT is the heterogeneous-earliest-finish-time policy [Topcuoglu et al.]:
+// tasks are ranked by their expected time from task onset to workflow
+// terminus (upward rank) and assigned, by decreasing rank, to the node with
+// the earliest finish time under insertion-based scheduling. Runtime
+// estimates come from provenance; untried (signature, node) pairs estimate
+// zero, which makes unexplored nodes attractive and drives the exploration
+// visible in the paper's Fig. 9.
+// EstimateMode selects how HEFT treats (signature, node) pairs without any
+// observation.
+type EstimateMode int
+
+const (
+	// EstimateLatestZeroDefault is the paper's strategy: use the latest
+	// observation; assume zero for untried pairs, which makes unexplored
+	// nodes attractive and drives exploration.
+	EstimateLatestZeroDefault EstimateMode = iota
+	// EstimateMeanFallback substitutes the signature's mean across nodes
+	// for untried pairs — no exploration incentive. Used by the ablation
+	// benchmarks to quantify what the default-zero strategy buys.
+	EstimateMeanFallback
+)
+
+type HEFT struct {
+	staticBase
+	est  Estimator
+	rng  *rand.Rand
+	mode EstimateMode
+}
+
+// NewHEFT returns an unplanned HEFT scheduler over the estimator.
+func NewHEFT(est Estimator) *HEFT {
+	h := &HEFT{est: est}
+	h.init(PolicyHEFT)
+	return h
+}
+
+// NewHEFTSeeded returns a HEFT scheduler whose tie-breaking between
+// equally-estimated nodes is randomized — with a default estimate of zero
+// for untried pairs, ties are exactly the unexplored nodes, so the seed
+// varies the exploration order between repetitions (as non-determinism
+// does on a real cluster).
+func NewHEFTSeeded(est Estimator, seed int64) *HEFT {
+	h := NewHEFT(est)
+	h.rng = rand.New(rand.NewSource(seed))
+	return h
+}
+
+// SetEstimateMode switches the treatment of unobserved pairs; must be
+// called before Plan.
+func (s *HEFT) SetEstimateMode(m EstimateMode) { s.mode = m }
+
+// estimate returns the runtime estimate for signature on node. Untried
+// pairs default to zero (the paper's exploration strategy) or to the
+// signature mean, per the configured mode.
+func (s *HEFT) estimate(signature, node string) float64 {
+	d, ok := s.est.LastRuntime(signature, node)
+	if ok {
+		return d
+	}
+	if s.mode == EstimateMeanFallback {
+		if mean, ok := s.est.MeanRuntime(signature); ok {
+			return mean
+		}
+	}
+	return 0
+}
+
+// Plan implements StaticPlanner.
+func (s *HEFT) Plan(dag *wf.DAG, nodes []NodeInfo) error {
+	if s.planned {
+		return fmt.Errorf("scheduler: %s already planned", s.policy)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("scheduler: no nodes to plan onto")
+	}
+	if s.rng != nil {
+		nodes = append([]NodeInfo(nil), nodes...)
+		s.rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	}
+
+	// Upward ranks over mean estimates, computed in reverse topological
+	// order so successors are ranked before their predecessors.
+	topo := dag.TopoOrder()
+	rank := make(map[int64]float64, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		t := topo[i]
+		w := 0.0
+		for _, n := range nodes {
+			w += s.estimate(t.Name, n.ID)
+		}
+		w /= float64(len(nodes))
+		maxSucc := 0.0
+		for _, succ := range dag.Successors(t) {
+			if r := rank[succ.ID]; r > maxSucc {
+				maxSucc = r
+			}
+		}
+		rank[t.ID] = w + maxSucc
+	}
+
+	// Decreasing rank; ties broken by topological position for
+	// determinism (and sanity when all estimates are zero).
+	topoPos := make(map[int64]int, len(topo))
+	for i, t := range topo {
+		topoPos[t.ID] = i
+	}
+	byRank := append([]*wf.Task(nil), topo...)
+	sort.SliceStable(byRank, func(i, j int) bool {
+		ri, rj := rank[byRank[i].ID], rank[byRank[j].ID]
+		if ri != rj {
+			return ri > rj
+		}
+		return topoPos[byRank[i].ID] < topoPos[byRank[j].ID]
+	})
+
+	// Insertion-based earliest-finish-time assignment.
+	busy := make(map[string][]slot, len(nodes))
+	aft := make(map[int64]float64, len(topo)) // actual finish time in the plan
+	assignedCount := make(map[string]int, len(nodes))
+
+	for pos, t := range byRank {
+		ready := 0.0
+		for _, p := range dag.Predecessors(t) {
+			if aft[p.ID] > ready {
+				ready = aft[p.ID]
+			}
+		}
+		bestNode := ""
+		bestEFT := math.Inf(1)
+		bestStart := 0.0
+		for _, n := range nodes {
+			w := s.estimate(t.Name, n.ID)
+			start := earliestSlot(busy[n.ID], ready, w)
+			eft := start + w
+			// Strictly-better EFT wins; on ties prefer the node with
+			// fewer assignments so zero-estimate plans spread out and
+			// explore (the paper's default-zero strategy).
+			if eft < bestEFT-1e-12 ||
+				(math.Abs(eft-bestEFT) <= 1e-12 && assignedCount[n.ID] < assignedCount[bestNode]) {
+				bestNode, bestEFT, bestStart = n.ID, eft, start
+			}
+		}
+		busy[bestNode] = insertSlot(busy[bestNode], slot{bestStart, bestEFT})
+		aft[t.ID] = bestEFT
+		assignedCount[bestNode]++
+		s.assignment[t.ID] = bestNode
+		s.order[t.ID] = pos
+	}
+	s.planned = true
+	return nil
+}
+
+// slot is one occupied interval in a node's planned schedule.
+type slot struct{ start, end float64 }
+
+// earliestSlot finds the earliest start ≥ ready where a task of length w
+// fits into the node's schedule, considering insertion between existing
+// slots. busy must be sorted by start time.
+func earliestSlot(busy []slot, ready, w float64) float64 {
+	start := ready
+	for _, s := range busy {
+		if start+w <= s.start+1e-12 {
+			return start // fits in the gap before this slot
+		}
+		if s.end > start {
+			start = s.end
+		}
+	}
+	return start
+}
+
+// insertSlot adds a slot keeping the list sorted by start time.
+func insertSlot(busy []slot, s slot) []slot {
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].start >= s.start })
+	busy = append(busy, slot{})
+	copy(busy[i+1:], busy[i:])
+	busy[i] = s
+	return busy
+}

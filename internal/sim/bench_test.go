@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%17), func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkSharedResourceChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		r := NewSharedResource(e, "bench", 100)
+		for j := 0; j < 200; j++ {
+			delay := float64(j) * 0.1
+			e.Schedule(delay, func() {
+				r.Submit(float64(j%7)+1, 0, nil)
+			})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkSharedResourceManyConcurrentFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		r := NewSharedResource(e, "switch", 1000)
+		for j := 0; j < 100; j++ {
+			r.Submit(50, 10, nil)
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel consists of an Engine that maintains a virtual clock and an
+// ordered event queue, and a SharedResource that models contended,
+// processor-sharing resources such as network switches, NICs, disks, and
+// multi-core CPUs using a fluid-flow (max-min fair) model.
+//
+// All higher-level substrates in this repository (the simulated HDFS and
+// YARN, the cluster hardware model) are built on this package. Determinism
+// is guaranteed: events scheduled for the same instant fire in scheduling
+// order, and no wall-clock time or global randomness is consulted.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       float64
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the virtual time at which the event fires.
+func (ev *Event) Time() float64 { return ev.at }
+
+// Engine is a discrete-event simulation engine with a virtual clock
+// measured in seconds. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    float64
+	seq    int64
+	queue  eventHeap
+	events int64 // total events executed, for diagnostics
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int64 { return e.events }
+
+// Schedule enqueues fn to run delay seconds from now. A negative delay is
+// treated as zero. The returned event may be canceled with Cancel.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At enqueues fn to run at absolute virtual time t. Times in the past are
+// clamped to the current time.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: event time %g before now %g", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of events still queued (including canceled
+// events not yet removed lazily; Cancel removes eagerly, so this is exact).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventHeap orders events by time, breaking ties by scheduling sequence so
+// simultaneous events fire deterministically in the order scheduled.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

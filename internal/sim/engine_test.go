@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %g, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("simultaneous events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	// Double-cancel and cancel-after-fire must be no-ops.
+	e.Cancel(ev)
+	ev2 := e.Schedule(1, func() {})
+	e.Run()
+	e.Cancel(ev2)
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {
+		e.Schedule(-3, func() {
+			if e.Now() != 5 {
+				t.Fatalf("negative delay should fire now, at %g", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestEngineNaNDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(math.NaN(), func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("NaN delay should clamp to zero (ran=%v now=%g)", ran, e.Now())
+	}
+}
+
+func TestEngineScheduleDuringEvent(t *testing.T) {
+	e := NewEngine()
+	var trace []float64
+	e.Schedule(1, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(2, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 3 {
+		t.Fatalf("trace = %v, want [1 3]", trace)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 || e.Now() != 2.5 {
+		t.Fatalf("RunUntil: fired=%v now=%g", fired, e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events did not fire: %v", fired)
+	}
+}
+
+func TestEngineAtPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		e.At(5, func() {
+			if e.Now() != 10 {
+				t.Fatalf("past At should clamp to now, got %g", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+// Property: N events with random delays always fire in nondecreasing time
+// order, and the clock ends at the max delay.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%50) + 1
+		delays := make([]float64, count)
+		var times []float64
+		for i := 0; i < count; i++ {
+			delays[i] = rng.Float64() * 100
+			e.Schedule(delays[i], func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if !sort.Float64sAreSorted(times) {
+			return false
+		}
+		maxd := 0.0
+		for _, d := range delays {
+			if d > maxd {
+				maxd = d
+			}
+		}
+		return almostEqual(e.Now(), maxd, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedResourceSingleJob(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 100) // 100 units/s
+	var doneAt float64
+	r.Submit(500, 0, func() { doneAt = e.Now() })
+	e.Run()
+	if !almostEqual(doneAt, 5, 1e-9) {
+		t.Fatalf("single job finished at %g, want 5", doneAt)
+	}
+}
+
+func TestSharedResourceFairSharing(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 100)
+	var t1, t2 float64
+	r.Submit(100, 0, func() { t1 = e.Now() }) // alone would take 1s
+	r.Submit(100, 0, func() { t2 = e.Now() })
+	e.Run()
+	// Both share 50 units/s until the first finishes; identical work means
+	// both finish at t=2.
+	if !almostEqual(t1, 2, 1e-9) || !almostEqual(t2, 2, 1e-9) {
+		t.Fatalf("fair sharing: t1=%g t2=%g, want 2, 2", t1, t2)
+	}
+}
+
+func TestSharedResourceUnequalWork(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 100)
+	var tShort, tLong float64
+	r.Submit(100, 0, func() { tShort = e.Now() })
+	r.Submit(300, 0, func() { tLong = e.Now() })
+	e.Run()
+	// Shared at 50/s each: short finishes at 2 (100/50). Long then has
+	// 300-100=200 left at full 100/s → finishes at 2+2=4.
+	if !almostEqual(tShort, 2, 1e-9) {
+		t.Fatalf("short job at %g, want 2", tShort)
+	}
+	if !almostEqual(tLong, 4, 1e-9) {
+		t.Fatalf("long job at %g, want 4", tLong)
+	}
+}
+
+func TestSharedResourceCapHonored(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 100)
+	var tCapped, tFree float64
+	r.Submit(100, 10, func() { tCapped = e.Now() }) // capped at 10/s
+	r.Submit(450, 0, func() { tFree = e.Now() })
+	e.Run()
+	// Max-min: capped job gets 10, free job gets 90. Capped: 100/10 = 10s.
+	// Free: 450/90 = 5s, finishing first; cap still binds afterwards.
+	if !almostEqual(tFree, 5, 1e-9) {
+		t.Fatalf("free job at %g, want 5", tFree)
+	}
+	if !almostEqual(tCapped, 10, 1e-9) {
+		t.Fatalf("capped job at %g, want 10", tCapped)
+	}
+}
+
+func TestSharedResourceBackgroundLoad(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "cpu", 2) // 2 cores
+	bg := r.SubmitBackground(1)         // one hog pinned to ~1 core
+	var done float64
+	r.Submit(2, 1, func() { done = e.Now() }) // 2 core-seconds, 1 thread
+	e.Run()
+	// Fair share of 2 cores between two unit-cap jobs: 1 core each →
+	// the finite job takes 2 seconds.
+	if !almostEqual(done, 2, 1e-9) {
+		t.Fatalf("job under background load finished at %g, want 2", done)
+	}
+	r.Remove(bg)
+	if r.Active() != 0 {
+		t.Fatalf("background job not removed: %d active", r.Active())
+	}
+}
+
+func TestSharedResourceHeavyBackgroundLoad(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "cpu", 2)
+	// 16 hogs of cap 1 each: our 2-thread task gets 2·2/18 of the machine.
+	for i := 0; i < 16; i++ {
+		r.SubmitBackground(1)
+	}
+	var done float64
+	r.Submit(2, 2, func() { done = e.Now() })
+	e.Run()
+	// Max-min fair: 17 jobs, capacity 2, all caps ≥ share → each gets 2/17.
+	want := 2 / (2.0 / 17.0)
+	if !almostEqual(done, want, 1e-6) {
+		t.Fatalf("job under 16 hogs finished at %g, want %g", done, want)
+	}
+}
+
+func TestSharedResourceRemoveSpeedsUpOthers(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "disk", 100)
+	var done float64
+	j := r.Submit(1e9, 0, nil) // effectively endless competitor
+	r.Submit(100, 0, func() { done = e.Now() })
+	e.Schedule(1, func() { r.Remove(j) })
+	e.Run()
+	// First second at 50/s → 50 units done; remaining 50 at 100/s → +0.5s.
+	if !almostEqual(done, 1.5, 1e-9) {
+		t.Fatalf("job finished at %g, want 1.5", done)
+	}
+}
+
+func TestSharedResourceZeroWorkCompletesImmediately(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 10)
+	called := false
+	r.Submit(0, 0, func() { called = true })
+	e.Run()
+	if !called || e.Now() != 0 {
+		t.Fatalf("zero work: called=%v now=%g", called, e.Now())
+	}
+}
+
+func TestSharedResourceResubmitFromCallback(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 10)
+	var second float64
+	r.Submit(10, 0, func() {
+		r.Submit(10, 0, func() { second = e.Now() })
+	})
+	e.Run()
+	if !almostEqual(second, 2, 1e-9) {
+		t.Fatalf("chained submit finished at %g, want 2", second)
+	}
+}
+
+func TestSharedResourceMeters(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 100)
+	r.Submit(100, 50, nil) // runs 2s at 50/s
+	e.Run()
+	e.RunUntil(4) // 2s busy, 2s idle
+	if u := r.Utilization(); !almostEqual(u, 0.25, 1e-9) {
+		t.Fatalf("utilization = %g, want 0.25", u)
+	}
+	if b := r.BusyFraction(); !almostEqual(b, 0.5, 1e-9) {
+		t.Fatalf("busy fraction = %g, want 0.5", b)
+	}
+	if th := r.Throughput(); !almostEqual(th, 25, 1e-9) {
+		t.Fatalf("throughput = %g, want 25", th)
+	}
+	r.ResetMeters()
+	e.RunUntil(5)
+	if u := r.Utilization(); u != 0 {
+		t.Fatalf("utilization after reset = %g, want 0", u)
+	}
+}
+
+func TestSharedResourceLoadMeter(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "cpu", 2)
+	j := r.SubmitBackground(1)
+	e.RunUntil(10)
+	if l := r.Load(); !almostEqual(l, 1, 1e-9) {
+		t.Fatalf("load = %g, want 1", l)
+	}
+	r.Remove(j)
+	_ = j
+}
+
+// Property: total work conservation — for any set of jobs the sum of work
+// equals capacity integrated over the busy intervals (no work lost or
+// duplicated by rate recomputation).
+func TestSharedResourceConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		cap := 1 + rng.Float64()*99
+		r := NewSharedResource(e, "res", cap)
+		n := rng.Intn(20) + 1
+		total := 0.0
+		remainingDone := n
+		for i := 0; i < n; i++ {
+			w := rng.Float64()*50 + 0.1
+			var jcap float64
+			if rng.Intn(2) == 0 {
+				jcap = rng.Float64()*cap + 0.01
+			}
+			total += w
+			delay := rng.Float64() * 5
+			e.Schedule(delay, func() {
+				r.Submit(w, jcap, func() { remainingDone-- })
+			})
+		}
+		e.Run()
+		if remainingDone != 0 {
+			return false
+		}
+		// All work processed: rate integral equals total submitted work.
+		return almostEqual(r.rateIntegral, total, 1e-6*float64(n)+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: jobs always finish in order of work when submitted together
+// with no caps (equal shares imply SJF completion order).
+func TestSharedResourceCompletionOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewSharedResource(e, "res", 10)
+		n := rng.Intn(10) + 2
+		type rec struct{ work, at float64 }
+		recs := make([]*rec, n)
+		for i := 0; i < n; i++ {
+			rc := &rec{work: rng.Float64()*100 + 0.5}
+			recs[i] = rc
+			r.Submit(rc.work, 0, func() { rc.at = e.Now() })
+		}
+		e.Run()
+		sorted := make([]*rec, n)
+		copy(sorted, recs)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].work < sorted[b].work })
+		for i := 1; i < n; i++ {
+			if sorted[i].at < sorted[i-1].at-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedResourcePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive capacity")
+		}
+	}()
+	NewSharedResource(NewEngine(), "bad", 0)
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// workEps is the tolerance below which a job's remaining work counts as
+// finished, absorbing floating-point drift from repeated rate updates.
+const workEps = 1e-9
+
+// Job is a unit of work submitted to a SharedResource. Its progress rate is
+// recomputed by max-min fair sharing whenever the resource's job set changes.
+type Job struct {
+	res       *SharedResource
+	remaining float64
+	cap       float64 // maximum rate this job can absorb; 0 means unlimited
+	rate      float64 // current allocated rate
+	done      func()
+	active    bool
+	infinite  bool // background load (hogs): never completes
+	seq       int64
+}
+
+// Rate returns the job's currently allocated rate in resource units/sec.
+func (j *Job) Rate() float64 { return j.rate }
+
+// Remaining returns the job's remaining work in resource units.
+func (j *Job) Remaining() float64 { return j.remaining }
+
+// SharedResource models a contended resource (switch, NIC, disk, CPU) with a
+// fixed aggregate capacity in units per second. Concurrent jobs share the
+// capacity max-min fairly, honoring per-job rate caps: jobs whose cap is
+// below the fair share release their surplus to the others.
+//
+// This fluid-flow model reproduces the congestion phenomena the paper
+// observes (a saturated 1 GbE switch, EBS-volume contention, CPU/IO stress)
+// without simulating individual packets or context switches.
+type SharedResource struct {
+	eng      *Engine
+	name     string
+	capacity float64
+	jobs     map[*Job]struct{}
+	last     float64 // virtual time of the last state update
+	wake     *Event  // pending earliest-completion event
+	seq      int64
+
+	// meters (time integrals since creation)
+	meterStart   float64
+	rateIntegral float64 // ∫ Σrates dt → throughput / utilization
+	demandInt    float64 // ∫ Σcaps dt → "load" in the uptime sense
+	busyInt      float64 // ∫ [n>0] dt → busy fraction
+}
+
+// NewSharedResource creates a resource with the given aggregate capacity
+// (units/sec). The name is used in diagnostics only.
+func NewSharedResource(eng *Engine, name string, capacity float64) *SharedResource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &SharedResource{
+		eng:        eng,
+		name:       name,
+		capacity:   capacity,
+		jobs:       make(map[*Job]struct{}),
+		last:       eng.Now(),
+		meterStart: eng.Now(),
+	}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *SharedResource) Name() string { return r.name }
+
+// Capacity returns the aggregate capacity in units/sec.
+func (r *SharedResource) Capacity() float64 { return r.capacity }
+
+// Active returns the number of jobs currently sharing the resource.
+func (r *SharedResource) Active() int { return len(r.jobs) }
+
+// Submit enqueues work units to be processed, calling done on completion.
+// rateCap bounds the job's share (0 = unbounded). Zero or negative work
+// completes at the current instant via a scheduled event, preserving
+// callback ordering.
+func (r *SharedResource) Submit(work, rateCap float64, done func()) *Job {
+	if work <= 0 {
+		j := &Job{res: r, remaining: 0, cap: rateCap, done: done}
+		r.eng.Schedule(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return j
+	}
+	r.advance()
+	r.seq++
+	j := &Job{res: r, remaining: work, cap: rateCap, done: done, active: true, seq: r.seq}
+	r.jobs[j] = struct{}{}
+	r.reschedule()
+	return j
+}
+
+// SubmitBackground adds a permanent load of rateCap units/sec that competes
+// for capacity but never completes — the model of the paper's synthetic
+// `stress` processes. It returns the job so callers can remove it later.
+func (r *SharedResource) SubmitBackground(rateCap float64) *Job {
+	if rateCap <= 0 {
+		panic("sim: background load must have a positive cap")
+	}
+	r.advance()
+	r.seq++
+	j := &Job{res: r, remaining: math.Inf(1), cap: rateCap, active: true, infinite: true, seq: r.seq}
+	r.jobs[j] = struct{}{}
+	r.reschedule()
+	return j
+}
+
+// Remove withdraws a job (finished or not) from the resource. Its done
+// callback will not be invoked. Removing an inactive job is a no-op.
+func (r *SharedResource) Remove(j *Job) {
+	if j == nil || !j.active {
+		return
+	}
+	r.advance()
+	delete(r.jobs, j)
+	j.active = false
+	j.rate = 0
+	r.reschedule()
+}
+
+// advance accrues progress for all jobs up to the current virtual time and
+// updates the meters. It does not complete jobs; reschedule does.
+func (r *SharedResource) advance() {
+	now := r.eng.Now()
+	dt := now - r.last
+	if dt <= 0 {
+		r.last = now
+		return
+	}
+	var totalRate, totalDemand float64
+	for j := range r.jobs {
+		if !j.infinite {
+			j.remaining -= j.rate * dt
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+		totalRate += j.rate
+		d := j.cap
+		if d == 0 || d > r.capacity {
+			d = r.capacity
+		}
+		totalDemand += d
+	}
+	r.rateIntegral += totalRate * dt
+	r.demandInt += totalDemand * dt
+	if len(r.jobs) > 0 {
+		r.busyInt += dt
+	}
+	r.last = now
+}
+
+// reschedule recomputes max-min fair rates, completes any jobs that have
+// exhausted their work, and schedules the next completion event.
+func (r *SharedResource) reschedule() {
+	// Complete jobs drained by the preceding advance.
+	var finished []*Job
+	for j := range r.jobs {
+		if !j.infinite && j.remaining <= workEps {
+			finished = append(finished, j)
+		}
+	}
+	if len(finished) > 0 {
+		sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+		for _, j := range finished {
+			delete(r.jobs, j)
+			j.active = false
+			j.rate = 0
+		}
+	}
+
+	r.recomputeRates()
+
+	if r.wake != nil {
+		r.eng.Cancel(r.wake)
+		r.wake = nil
+	}
+	// Earliest completion among finite jobs.
+	soonest := math.Inf(1)
+	for j := range r.jobs {
+		if j.infinite || j.rate <= 0 {
+			continue
+		}
+		t := j.remaining / j.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if !math.IsInf(soonest, 1) {
+		r.wake = r.eng.Schedule(soonest, func() {
+			r.wake = nil
+			r.advance()
+			r.reschedule()
+		})
+	}
+
+	// Fire completion callbacks after internal state is consistent, so a
+	// callback may immediately submit new work to this same resource.
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// recomputeRates assigns each active job a max-min fair share of capacity,
+// honoring per-job caps: jobs are considered in ascending cap order; each
+// takes min(cap, remaining/|left|), releasing surplus to later jobs.
+func (r *SharedResource) recomputeRates() {
+	n := len(r.jobs)
+	if n == 0 {
+		return
+	}
+	js := make([]*Job, 0, n)
+	for j := range r.jobs {
+		js = append(js, j)
+	}
+	sort.Slice(js, func(a, b int) bool {
+		ca, cb := js[a].effCap(r.capacity), js[b].effCap(r.capacity)
+		if ca != cb {
+			return ca < cb
+		}
+		return js[a].seq < js[b].seq
+	})
+	left := r.capacity
+	for i, j := range js {
+		share := left / float64(n-i)
+		rate := j.effCap(r.capacity)
+		if rate > share {
+			rate = share
+		}
+		j.rate = rate
+		left -= rate
+	}
+}
+
+// effCap returns the job's effective rate cap, treating 0 as "capacity".
+func (j *Job) effCap(capacity float64) float64 {
+	if j.cap == 0 || j.cap > capacity {
+		return capacity
+	}
+	return j.cap
+}
+
+// Utilization returns the average fraction of capacity in use since the
+// resource was created (∫rates / (capacity · elapsed)).
+func (r *SharedResource) Utilization() float64 {
+	r.advance()
+	dur := r.eng.Now() - r.meterStart
+	if dur <= 0 {
+		return 0
+	}
+	return r.rateIntegral / (r.capacity * dur)
+}
+
+// Load returns the average demand on the resource in capacity units — the
+// analogue of the Unix load average the paper reports for worker CPUs
+// (e.g. ~2.0 on a two-core node under full multithreaded load).
+func (r *SharedResource) Load() float64 {
+	r.advance()
+	dur := r.eng.Now() - r.meterStart
+	if dur <= 0 {
+		return 0
+	}
+	return r.demandInt / dur
+}
+
+// Throughput returns average processed units/sec since creation — for a
+// network resource, bytes (MB) per second of actual transfer.
+func (r *SharedResource) Throughput() float64 {
+	r.advance()
+	dur := r.eng.Now() - r.meterStart
+	if dur <= 0 {
+		return 0
+	}
+	return r.rateIntegral / dur
+}
+
+// BusyFraction returns the fraction of elapsed time with at least one job —
+// the iostat-style device utilization the paper reports for disks.
+func (r *SharedResource) BusyFraction() float64 {
+	r.advance()
+	dur := r.eng.Now() - r.meterStart
+	if dur <= 0 {
+		return 0
+	}
+	return r.busyInt / dur
+}
+
+// ResetMeters restarts utilization accounting from the current instant.
+func (r *SharedResource) ResetMeters() {
+	r.advance()
+	r.meterStart = r.eng.Now()
+	r.rateIntegral = 0
+	r.demandInt = 0
+	r.busyInt = 0
+}

@@ -1,0 +1,115 @@
+package wf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analysis summarizes a static workflow's structure and resource demands —
+// what `hiway inspect` prints before a run.
+type Analysis struct {
+	Tasks int
+	Edges int
+	// Depth is the length of the longest dependency chain.
+	Depth int
+	// MaxParallelism is the widest level of the DAG (an upper bound on
+	// useful concurrent containers).
+	MaxParallelism int
+	// LevelWidths lists the task count per topological level.
+	LevelWidths []int
+	// TotalCPUSeconds sums the declared compute demand.
+	TotalCPUSeconds float64
+	// CriticalPathCPUSeconds sums CPU demand along the heaviest chain —
+	// a lower bound on the makespan at infinite parallelism.
+	CriticalPathCPUSeconds float64
+	// TotalOutputMB sums declared output volumes.
+	TotalOutputMB float64
+	// MaxMemMB is the largest single-task memory demand.
+	MaxMemMB int
+	// Signatures counts tasks per signature.
+	Signatures map[string]int
+	// InitialInputs is the number of pre-existing input files.
+	InitialInputs int
+}
+
+// Analyze computes structural statistics for a DAG.
+func Analyze(d *DAG) Analysis {
+	a := Analysis{
+		Tasks:      len(d.tasks),
+		Signatures: make(map[string]int),
+	}
+	a.InitialInputs = len(d.InitialInputs())
+
+	level := make(map[int64]int, len(d.tasks))
+	cpChain := make(map[int64]float64, len(d.tasks))
+	for _, t := range d.TopoOrder() {
+		a.Edges += len(d.preds[t.ID])
+		a.Signatures[t.Name]++
+		a.TotalCPUSeconds += t.CPUSeconds
+		for _, fi := range t.DeclaredOutputs() {
+			a.TotalOutputMB += fi.SizeMB
+		}
+		if t.MemMB > a.MaxMemMB {
+			a.MaxMemMB = t.MemMB
+		}
+		lvl := 0
+		chain := 0.0
+		for _, p := range d.preds[t.ID] {
+			if level[p.ID]+1 > lvl {
+				lvl = level[p.ID] + 1
+			}
+			if cpChain[p.ID] > chain {
+				chain = cpChain[p.ID]
+			}
+		}
+		level[t.ID] = lvl
+		cpChain[t.ID] = chain + t.CPUSeconds
+		if cpChain[t.ID] > a.CriticalPathCPUSeconds {
+			a.CriticalPathCPUSeconds = cpChain[t.ID]
+		}
+	}
+	if a.Tasks > 0 {
+		maxLvl := 0
+		for _, l := range level {
+			if l > maxLvl {
+				maxLvl = l
+			}
+		}
+		a.Depth = maxLvl + 1
+		a.LevelWidths = make([]int, a.Depth)
+		for _, l := range level {
+			a.LevelWidths[l]++
+		}
+		for _, w := range a.LevelWidths {
+			if w > a.MaxParallelism {
+				a.MaxParallelism = w
+			}
+		}
+	}
+	return a
+}
+
+// Render formats the analysis for terminal output.
+func (a Analysis) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tasks:            %d (%d signatures)\n", a.Tasks, len(a.Signatures))
+	fmt.Fprintf(&sb, "dependency edges: %d\n", a.Edges)
+	fmt.Fprintf(&sb, "depth:            %d levels\n", a.Depth)
+	fmt.Fprintf(&sb, "max parallelism:  %d\n", a.MaxParallelism)
+	fmt.Fprintf(&sb, "level widths:     %v\n", a.LevelWidths)
+	fmt.Fprintf(&sb, "initial inputs:   %d files\n", a.InitialInputs)
+	fmt.Fprintf(&sb, "total CPU:        %.0f core-seconds\n", a.TotalCPUSeconds)
+	fmt.Fprintf(&sb, "critical path:    %.0f core-seconds\n", a.CriticalPathCPUSeconds)
+	fmt.Fprintf(&sb, "declared output:  %.1f MB\n", a.TotalOutputMB)
+	fmt.Fprintf(&sb, "peak task memory: %d MB\n", a.MaxMemMB)
+	sigs := make([]string, 0, len(a.Signatures))
+	for s := range a.Signatures {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	for _, s := range sigs {
+		fmt.Fprintf(&sb, "  %-20s × %d\n", s, a.Signatures[s])
+	}
+	return sb.String()
+}

@@ -1,0 +1,40 @@
+package wf
+
+// Profile supplies a resource profile for tasks parsed from workflow
+// languages that do not annotate resource demands themselves (DAX without
+// runtime attributes, Galaxy). The simulated substrate needs CPU seconds
+// and data volumes in place of running the real tool; the local executor
+// ignores profiles entirely.
+type Profile struct {
+	CPUSeconds   float64 // reference core-seconds of compute
+	Threads      int     // maximum useful parallelism
+	MemMB        int     // memory demand
+	OutputSizeMB float64 // size for declared outputs without an explicit size
+}
+
+// ApplyTo fills zero-valued resource fields of the task from the profile.
+// Explicit annotations from the workflow text win over the profile.
+func (p Profile) ApplyTo(t *Task) {
+	if t.CPUSeconds == 0 {
+		t.CPUSeconds = p.CPUSeconds
+	}
+	if t.Threads == 0 {
+		t.Threads = p.Threads
+	}
+	if t.MemMB == 0 {
+		t.MemMB = p.MemMB
+	}
+	if p.OutputSizeMB > 0 {
+		for param, fis := range t.Declared {
+			for i := range fis {
+				if fis[i].SizeMB == 0 {
+					fis[i].SizeMB = p.OutputSizeMB
+				}
+			}
+			t.Declared[param] = fis
+		}
+	}
+	if t.Threads == 0 {
+		t.Threads = 1
+	}
+}

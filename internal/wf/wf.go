@@ -1,0 +1,224 @@
+// Package wf defines Hi-WAY's black-box workflow model: tasks that consume
+// and produce opaque files, and the iterative Driver interface through which
+// language frontends (Cuneiform, DAX, Galaxy, provenance traces) feed tasks
+// to the execution engine as they become ready.
+//
+// Tasks are black boxes (§1 of the paper): the engine never inspects data,
+// it only forwards files according to the workflow structure. Each task
+// carries a resource profile (CPU core-seconds, threads, memory, output
+// volumes) that the simulated substrate uses in place of running the real
+// tool; the local executor ignores the profile and runs Command instead.
+package wf
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+var idCounter atomic.Int64
+
+// NextID returns a process-unique task ID.
+func NextID() int64 { return idCounter.Add(1) }
+
+// FileInfo names a produced or consumed file and its size.
+type FileInfo struct {
+	Path   string
+	SizeMB float64
+}
+
+// Task is one black-box invocation of an external tool.
+type Task struct {
+	ID   int64
+	Name string // signature: the tool invoked; adaptive scheduling keys on it
+	// Command is the shell command the task stands for. The simulator
+	// records it in provenance; the local executor actually runs it.
+	Command string
+
+	Inputs []string // paths consumed (must exist before the task is ready)
+
+	// OutputParams lists declared output parameter names in order;
+	// Declared maps each to its default produced files. Iterative
+	// languages may produce a different number of files for aggregate
+	// outputs at run time (see Outcome).
+	OutputParams []string
+	Declared     map[string][]FileInfo
+
+	// Resource profile for simulated execution.
+	CPUSeconds float64 // reference core-seconds of compute
+	Threads    int     // maximum useful parallelism
+	MemMB      int     // memory demand (drives container sizing)
+
+	// Env carries named parameter bindings (parameter → space-joined
+	// values, output parameter → produced paths). The local executor
+	// exports them to the task's process environment.
+	Env map[string]string
+
+	// Meta carries frontend- or workload-specific annotations (e.g. the
+	// iteration counter of a k-means convergence task).
+	Meta map[string]string
+}
+
+// NewTask builds a task with a fresh ID and a single output parameter "out".
+func NewTask(name string, inputs []string, outputs []FileInfo) *Task {
+	t := &Task{
+		ID:           NextID(),
+		Name:         name,
+		Inputs:       inputs,
+		OutputParams: []string{"out"},
+		Declared:     map[string][]FileInfo{"out": outputs},
+		Threads:      1,
+	}
+	return t
+}
+
+// DeclaredOutputs returns all declared output files flattened in parameter
+// order.
+func (t *Task) DeclaredOutputs() []FileInfo {
+	var out []FileInfo
+	for _, p := range t.OutputParams {
+		out = append(out, t.Declared[p]...)
+	}
+	return out
+}
+
+// DeclaredPaths returns the paths of DeclaredOutputs.
+func (t *Task) DeclaredPaths() []string {
+	fis := t.DeclaredOutputs()
+	paths := make([]string, len(fis))
+	for i, fi := range fis {
+		paths[i] = fi.Path
+	}
+	return paths
+}
+
+// Validate reports structural problems with the task.
+func (t *Task) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("wf: task %d has no name", t.ID)
+	}
+	if t.CPUSeconds < 0 {
+		return fmt.Errorf("wf: task %s has negative CPU time", t.Name)
+	}
+	seen := map[string]bool{}
+	for _, in := range t.Inputs {
+		if in == "" {
+			return fmt.Errorf("wf: task %s has an empty input path", t.Name)
+		}
+		seen[in] = true
+	}
+	for _, p := range t.OutputParams {
+		for _, fi := range t.Declared[p] {
+			if fi.Path == "" {
+				return fmt.Errorf("wf: task %s output param %s has an empty path", t.Name, p)
+			}
+			if seen[fi.Path] {
+				return fmt.Errorf("wf: task %s produces its own input %s", t.Name, fi.Path)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Task) String() string {
+	return fmt.Sprintf("task %d (%s)", t.ID, t.Name)
+}
+
+// Outcome is what executing a task yields, before stage-out. The simulated
+// executor derives it from a Behavior hook (or the declared outputs); the
+// local executor derives it from the real process.
+type Outcome struct {
+	ExitCode int
+	Error    string
+	// Outputs maps output parameter → produced files. Aggregate (list)
+	// outputs may hold zero or many files; this is how conditional and
+	// convergence logic escapes a black-box task.
+	Outputs map[string][]FileInfo
+}
+
+// DefaultOutcome returns a successful outcome producing exactly the
+// declared outputs.
+func DefaultOutcome(t *Task) Outcome {
+	outs := make(map[string][]FileInfo, len(t.OutputParams))
+	for _, p := range t.OutputParams {
+		outs[p] = append([]FileInfo(nil), t.Declared[p]...)
+	}
+	return Outcome{Outputs: outs}
+}
+
+// Behavior lets a workload customize what a simulated task produces —
+// the stand-in for the real tool's observable behaviour.
+type Behavior func(t *Task) Outcome
+
+// TaskResult is the completed execution record handed back to the driver
+// and the provenance manager.
+type TaskResult struct {
+	Task *Task
+	Node string
+
+	Start, End  float64 // virtual (or wall-clock) seconds
+	StageInSec  float64
+	ExecSec     float64
+	StageOutSec float64
+
+	ExitCode int
+	Error    string
+	Outputs  map[string][]FileInfo
+
+	Stdout, Stderr string // captured by the local executor
+}
+
+// OutputFiles returns all produced files flattened in parameter order.
+func (r *TaskResult) OutputFiles() []FileInfo {
+	var out []FileInfo
+	for _, p := range r.Task.OutputParams {
+		out = append(out, r.Outputs[p]...)
+	}
+	// Include parameters the task did not declare (defensive).
+	var extras []string
+	declared := map[string]bool{}
+	for _, p := range r.Task.OutputParams {
+		declared[p] = true
+	}
+	for p := range r.Outputs {
+		if !declared[p] {
+			extras = append(extras, p)
+		}
+	}
+	sort.Strings(extras)
+	for _, p := range extras {
+		out = append(out, r.Outputs[p]...)
+	}
+	return out
+}
+
+// Succeeded reports whether the task exited cleanly.
+func (r *TaskResult) Succeeded() bool { return r.ExitCode == 0 && r.Error == "" }
+
+// Driver is the language-independent interface between a workflow frontend
+// and the execution engine (§3.2, §3.3). Parse returns the initially ready
+// tasks; OnTaskComplete registers produced data and returns tasks that
+// became ready — for iterative languages these may be entirely new tasks
+// discovered by evaluating the result.
+type Driver interface {
+	// Name identifies the workflow (used in provenance).
+	Name() string
+	// Parse analyses the workflow text and returns initially ready tasks.
+	Parse() ([]*Task, error)
+	// OnTaskComplete consumes a result and returns newly ready tasks.
+	OnTaskComplete(res *TaskResult) ([]*Task, error)
+	// Done reports whether the workflow has produced everything it will.
+	Done() bool
+	// Outputs returns the workflow's final output paths (valid once Done).
+	Outputs() []string
+}
+
+// StaticDriver is implemented by frontends of non-iterative languages whose
+// complete task graph is known after parsing. Static scheduling policies
+// (round-robin, HEFT) require it; Cuneiform deliberately does not implement
+// it (§3.4: static schedulers are incompatible with iterative workflows).
+type StaticDriver interface {
+	Driver
+	// Graph exposes the full DAG after Parse.
+	Graph() *DAG
+}

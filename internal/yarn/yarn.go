@@ -1,0 +1,400 @@
+// Package yarn simulates the Hadoop YARN resource management layer as seen
+// by an application master (AM): a ResourceManager that tracks per-node
+// capacity through NodeManagers, allocates containers (a fixed bundle of
+// virtual cores and memory) against queued requests, honors node placement
+// hints (relaxed or strict, the latter used by static workflow schedulers),
+// and notifies applications when nodes are lost.
+//
+// Hi-WAY is "yet another application master for YARN"; this package is the
+// counterpart protocol it talks to. One application is submitted per
+// workflow, mirroring the paper's one-AM-per-workflow design (§3.1).
+package yarn
+
+import (
+	"fmt"
+	"sort"
+
+	"hiway/internal/cluster"
+	"hiway/internal/sim"
+)
+
+// Resource is a container's size: virtual cores and memory.
+type Resource struct {
+	VCores int
+	MemMB  int
+}
+
+// Fits reports whether r fits into the given free capacity.
+func (r Resource) Fits(freeCores, freeMem int) bool {
+	return r.VCores <= freeCores && r.MemMB <= freeMem
+}
+
+func (r Resource) String() string {
+	return fmt.Sprintf("<%d vcores, %d MB>", r.VCores, r.MemMB)
+}
+
+// Container is an allocated bundle of resources on one node.
+type Container struct {
+	ID       int64
+	NodeID   string
+	Resource Resource
+	AppID    int
+
+	// OnLost, if set by the owning application, is invoked when the
+	// hosting node dies while the container is allocated.
+	OnLost func()
+
+	released bool
+}
+
+// Request asks the ResourceManager for one container.
+type Request struct {
+	Resource Resource
+	// NodeHint names a preferred node. With Strict, the request waits for
+	// capacity on exactly that node (static schedulers); otherwise the
+	// hint is best-effort and any node may be chosen (relaxed locality).
+	NodeHint string
+	Strict   bool
+}
+
+// Config tunes the ResourceManager.
+type Config struct {
+	// HeartbeatSec is the allocation latency: requests are matched to free
+	// capacity one heartbeat after arrival/release, as in YARN's
+	// heartbeat-driven allocation. Default 0.25s.
+	HeartbeatSec float64
+	// AMResource is the container size used for application masters.
+	// Default 1 vcore, 1024 MB. VCores may be zero: the AM is a thin
+	// process whose vcore reservation need not block task containers
+	// (YARN does not enforce vcores by default).
+	AMResource Resource
+	// Fair switches YARN's internal scheduler (§3.4 distinguishes it from
+	// Hi-WAY's workflow scheduler) from FIFO to fair sharing: allocation
+	// rounds serve one request per application in turn, so a workflow
+	// with many queued requests cannot starve a smaller one.
+	Fair bool
+}
+
+func (c *Config) setDefaults() {
+	if c.HeartbeatSec <= 0 {
+		c.HeartbeatSec = 0.25
+	}
+	if c.AMResource.VCores <= 0 && c.AMResource.MemMB <= 0 {
+		c.AMResource = Resource{VCores: 1, MemMB: 1024}
+	}
+}
+
+type nodeManager struct {
+	id        string
+	freeCores int
+	freeMem   int
+	dead      bool
+	running   map[int64]*Container
+}
+
+type pendingReq struct {
+	app  *Application
+	req  Request
+	onOK func(*Container)
+	seq  int64
+}
+
+// ResourceManager allocates containers over the simulated cluster.
+type ResourceManager struct {
+	eng *sim.Engine
+	cfg Config
+
+	nms     map[string]*nodeManager
+	order   []string // node IDs in deterministic order
+	pending []*pendingReq
+	apps    map[int]*Application
+
+	nextApp       int
+	nextContainer int64
+	nextSeq       int64
+	allocPending  bool
+
+	// statistics
+	Allocated int64 // total containers ever allocated (incl. AMs)
+}
+
+// NewResourceManager builds an RM over the cluster's nodes.
+func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, cfg Config) *ResourceManager {
+	cfg.setDefaults()
+	rm := &ResourceManager{
+		eng:  eng,
+		cfg:  cfg,
+		nms:  make(map[string]*nodeManager),
+		apps: make(map[int]*Application),
+	}
+	for _, n := range c.Nodes() {
+		rm.nms[n.ID] = &nodeManager{
+			id:        n.ID,
+			freeCores: n.Spec.VCores,
+			freeMem:   n.Spec.MemMB,
+			running:   make(map[int64]*Container),
+		}
+		rm.order = append(rm.order, n.ID)
+	}
+	sort.Strings(rm.order)
+	return rm
+}
+
+// Application is one submitted app (one Hi-WAY AM per workflow).
+type Application struct {
+	rm   *ResourceManager
+	ID   int
+	Name string
+	// AMContainer hosts the application master itself.
+	AMContainer *Container
+	finished    bool
+}
+
+// SubmitApplication registers an application and synchronously allocates
+// its AM container on the emptiest node (or a specific node if amNode is
+// non-empty). It fails if no node can host the AM.
+func (rm *ResourceManager) SubmitApplication(name, amNode string) (*Application, error) {
+	rm.nextApp++
+	app := &Application{rm: rm, ID: rm.nextApp, Name: name}
+	var nm *nodeManager
+	if amNode != "" {
+		cand := rm.nms[amNode]
+		if cand == nil || cand.dead {
+			return nil, fmt.Errorf("yarn: AM node %q unavailable", amNode)
+		}
+		if !rm.cfg.AMResource.Fits(cand.freeCores, cand.freeMem) {
+			return nil, fmt.Errorf("yarn: AM node %q lacks capacity for %v", amNode, rm.cfg.AMResource)
+		}
+		nm = cand
+	} else {
+		nm = rm.pickNode(rm.cfg.AMResource, "", false)
+		if nm == nil {
+			return nil, fmt.Errorf("yarn: no capacity for AM container %v", rm.cfg.AMResource)
+		}
+	}
+	app.AMContainer = rm.allocateOn(nm, app, rm.cfg.AMResource)
+	rm.apps[app.ID] = app
+	return app, nil
+}
+
+// Request queues a container request; onAllocated fires (after at least one
+// heartbeat) once a container is placed.
+func (a *Application) Request(req Request, onAllocated func(*Container)) {
+	if a.finished {
+		return
+	}
+	if req.Resource.VCores <= 0 {
+		req.Resource.VCores = 1
+	}
+	if req.Resource.MemMB <= 0 {
+		req.Resource.MemMB = 1024
+	}
+	a.rm.nextSeq++
+	a.rm.pending = append(a.rm.pending, &pendingReq{app: a, req: req, onOK: onAllocated, seq: a.rm.nextSeq})
+	a.rm.kick()
+}
+
+// PendingRequests returns the number of queued, unallocated requests for
+// this application.
+func (a *Application) PendingRequests() int {
+	n := 0
+	for _, p := range a.rm.pending {
+		if p.app == a {
+			n++
+		}
+	}
+	return n
+}
+
+// Release returns a container's resources to its node and triggers a new
+// allocation round. Releasing twice is a no-op.
+func (a *Application) Release(c *Container) {
+	if c == nil || c.released {
+		return
+	}
+	c.released = true
+	nm := a.rm.nms[c.NodeID]
+	if nm != nil {
+		delete(nm.running, c.ID)
+		if !nm.dead {
+			nm.freeCores += c.Resource.VCores
+			nm.freeMem += c.Resource.MemMB
+		}
+	}
+	a.rm.kick()
+}
+
+// Finish releases the AM container and drops any outstanding requests.
+func (a *Application) Finish() {
+	if a.finished {
+		return
+	}
+	a.finished = true
+	kept := a.rm.pending[:0]
+	for _, p := range a.rm.pending {
+		if p.app != a {
+			kept = append(kept, p)
+		}
+	}
+	a.rm.pending = kept
+	a.Release(a.AMContainer)
+	delete(a.rm.apps, a.ID)
+}
+
+// kick schedules an allocation round one heartbeat from now (coalesced).
+func (rm *ResourceManager) kick() {
+	if rm.allocPending {
+		return
+	}
+	rm.allocPending = true
+	rm.eng.Schedule(rm.cfg.HeartbeatSec, func() {
+		rm.allocPending = false
+		rm.allocate()
+	})
+}
+
+// allocate matches pending requests to free capacity — in FIFO order, or
+// round-robin across applications when fair sharing is configured.
+func (rm *ResourceManager) allocate() {
+	order := rm.pending
+	if rm.cfg.Fair {
+		order = fairOrder(rm.pending)
+	}
+	var satisfied []*pendingReq
+	var containers []*Container
+	taken := make(map[*pendingReq]bool)
+	for _, p := range order {
+		nm := rm.pickNode(p.req.Resource, p.req.NodeHint, p.req.Strict)
+		if nm == nil {
+			continue
+		}
+		c := rm.allocateOn(nm, p.app, p.req.Resource)
+		taken[p] = true
+		satisfied = append(satisfied, p)
+		containers = append(containers, c)
+	}
+	kept := rm.pending[:0]
+	for _, p := range rm.pending {
+		if !taken[p] {
+			kept = append(kept, p)
+		}
+	}
+	rm.pending = kept
+	// Callbacks after queue surgery so they can request more containers.
+	for i, p := range satisfied {
+		if p.onOK != nil {
+			p.onOK(containers[i])
+		}
+	}
+}
+
+// fairOrder interleaves pending requests round-robin across applications
+// (apps ordered by ID, requests within an app in arrival order).
+func fairOrder(pending []*pendingReq) []*pendingReq {
+	perApp := make(map[int][]*pendingReq)
+	var appIDs []int
+	for _, p := range pending {
+		if _, ok := perApp[p.app.ID]; !ok {
+			appIDs = append(appIDs, p.app.ID)
+		}
+		perApp[p.app.ID] = append(perApp[p.app.ID], p)
+	}
+	sort.Ints(appIDs)
+	out := make([]*pendingReq, 0, len(pending))
+	for round := 0; len(out) < len(pending); round++ {
+		for _, id := range appIDs {
+			if q := perApp[id]; round < len(q) {
+				out = append(out, q[round])
+			}
+		}
+	}
+	return out
+}
+
+// pickNode chooses a node for the resource. With strict placement only the
+// hinted node qualifies. Otherwise the hint is preferred if it fits, then
+// the node with the most free cores (ties: more free memory, then ID).
+func (rm *ResourceManager) pickNode(res Resource, hint string, strict bool) *nodeManager {
+	if strict {
+		nm := rm.nms[hint]
+		if nm != nil && !nm.dead && res.Fits(nm.freeCores, nm.freeMem) {
+			return nm
+		}
+		return nil
+	}
+	if hint != "" {
+		if nm := rm.nms[hint]; nm != nil && !nm.dead && res.Fits(nm.freeCores, nm.freeMem) {
+			return nm
+		}
+	}
+	var best *nodeManager
+	for _, id := range rm.order {
+		nm := rm.nms[id]
+		if nm.dead || !res.Fits(nm.freeCores, nm.freeMem) {
+			continue
+		}
+		if best == nil || nm.freeCores > best.freeCores ||
+			(nm.freeCores == best.freeCores && nm.freeMem > best.freeMem) {
+			best = nm
+		}
+	}
+	return best
+}
+
+func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Resource) *Container {
+	nm.freeCores -= res.VCores
+	nm.freeMem -= res.MemMB
+	rm.nextContainer++
+	rm.Allocated++
+	c := &Container{ID: rm.nextContainer, NodeID: nm.id, Resource: res, AppID: app.ID}
+	nm.running[c.ID] = c
+	return c
+}
+
+// KillNode fails a node: running containers are lost (OnLost fires), no new
+// containers are placed there, and strict requests for it will wait
+// indefinitely unless re-requested elsewhere.
+func (rm *ResourceManager) KillNode(nodeID string) {
+	nm := rm.nms[nodeID]
+	if nm == nil || nm.dead {
+		return
+	}
+	nm.dead = true
+	nm.freeCores = 0
+	nm.freeMem = 0
+	lost := make([]*Container, 0, len(nm.running))
+	for _, c := range nm.running {
+		lost = append(lost, c)
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
+	nm.running = make(map[int64]*Container)
+	for _, c := range lost {
+		c.released = true
+		if c.OnLost != nil {
+			cb := c.OnLost
+			rm.eng.Schedule(0, cb)
+		}
+	}
+	rm.kick()
+}
+
+// FreeCapacity returns the free cores and memory on a node (0,0 if dead or
+// unknown).
+func (rm *ResourceManager) FreeCapacity(nodeID string) (cores, memMB int) {
+	nm := rm.nms[nodeID]
+	if nm == nil || nm.dead {
+		return 0, 0
+	}
+	return nm.freeCores, nm.freeMem
+}
+
+// LiveNodes returns the IDs of nodes that have not been killed, sorted.
+func (rm *ResourceManager) LiveNodes() []string {
+	out := make([]string, 0, len(rm.order))
+	for _, id := range rm.order {
+		if !rm.nms[id].dead {
+			out = append(out, id)
+		}
+	}
+	return out
+}

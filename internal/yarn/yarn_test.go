@@ -1,0 +1,347 @@
+package yarn
+
+import (
+	"testing"
+
+	"hiway/internal/cluster"
+	"hiway/internal/sim"
+)
+
+func newRM(t *testing.T, nodes int, spec cluster.NodeSpec, cfg Config) (*sim.Engine, *ResourceManager) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := cluster.Uniform(eng, cluster.Config{SwitchMBps: 1000}, nodes, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewResourceManager(eng, c, cfg)
+}
+
+func spec4() cluster.NodeSpec {
+	return cluster.NodeSpec{VCores: 4, MemMB: 4096, CPUFactor: 1, DiskMBps: 100, NetMBps: 100}
+}
+
+func TestSubmitApplicationAllocatesAM(t *testing.T) {
+	_, rm := newRM(t, 2, spec4(), Config{})
+	app, err := rm.SubmitApplication("wf", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.AMContainer == nil || app.AMContainer.NodeID == "" {
+		t.Fatal("AM container not allocated")
+	}
+	cores, mem := rm.FreeCapacity(app.AMContainer.NodeID)
+	if cores != 3 || mem != 4096-1024 {
+		t.Fatalf("free after AM = %d cores %d MB", cores, mem)
+	}
+}
+
+func TestSubmitApplicationOnSpecificNode(t *testing.T) {
+	_, rm := newRM(t, 3, spec4(), Config{})
+	app, err := rm.SubmitApplication("wf", "node-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.AMContainer.NodeID != "node-02" {
+		t.Fatalf("AM on %s, want node-02", app.AMContainer.NodeID)
+	}
+	if _, err := rm.SubmitApplication("wf2", "node-99"); err == nil {
+		t.Fatal("expected error for unknown AM node")
+	}
+}
+
+func TestSubmitApplicationNoCapacity(t *testing.T) {
+	_, rm := newRM(t, 1, cluster.NodeSpec{VCores: 1, MemMB: 512, CPUFactor: 1, DiskMBps: 1, NetMBps: 1}, Config{})
+	if _, err := rm.SubmitApplication("wf", ""); err == nil {
+		t.Fatal("expected error: node too small for default AM container")
+	}
+}
+
+func TestZeroVCoreAM(t *testing.T) {
+	// A zero-vcore AM (thin JVM) must not block a full-node task
+	// container on the same node.
+	eng, rm := newRM(t, 1, spec4(), Config{AMResource: Resource{VCores: 0, MemMB: 512}})
+	app, err := rm.SubmitApplication("wf", "node-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.AMContainer.Resource.VCores != 0 {
+		t.Fatalf("AM resource = %+v", app.AMContainer.Resource)
+	}
+	cores, mem := rm.FreeCapacity("node-00")
+	if cores != 4 || mem != 4096-512 {
+		t.Fatalf("free = %d cores %d MB", cores, mem)
+	}
+	var got *Container
+	app.Request(Request{Resource: Resource{VCores: 4, MemMB: 3500}}, func(c *Container) { got = c })
+	eng.Run()
+	if got == nil {
+		t.Fatal("full-node container should fit beside the zero-vcore AM")
+	}
+}
+
+func TestRequestAllocatesAfterHeartbeat(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{HeartbeatSec: 0.5})
+	app, _ := rm.SubmitApplication("wf", "")
+	var got *Container
+	var at float64
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 1024}}, func(c *Container) {
+		got = c
+		at = eng.Now()
+	})
+	eng.Run()
+	if got == nil {
+		t.Fatal("container not allocated")
+	}
+	if at < 0.5 {
+		t.Fatalf("allocated at %g, want >= heartbeat 0.5", at)
+	}
+}
+
+func TestRequestDefaultsZeroResource(t *testing.T) {
+	eng, rm := newRM(t, 1, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "")
+	var got *Container
+	app.Request(Request{}, func(c *Container) { got = c })
+	eng.Run()
+	if got == nil || got.Resource.VCores != 1 || got.Resource.MemMB != 1024 {
+		t.Fatalf("defaulted container = %+v", got)
+	}
+}
+
+func TestRequestsQueueWhenFull(t *testing.T) {
+	eng, rm := newRM(t, 1, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "") // uses 1 core, leaves 3
+	res := Resource{VCores: 3, MemMB: 1024}
+	var first, second *Container
+	app.Request(Request{Resource: res}, func(c *Container) { first = c })
+	app.Request(Request{Resource: res}, func(c *Container) { second = c })
+	eng.RunUntil(10)
+	if first == nil {
+		t.Fatal("first request should be satisfied")
+	}
+	if second != nil {
+		t.Fatal("second request should wait: node is full")
+	}
+	if app.PendingRequests() != 1 {
+		t.Fatalf("pending = %d, want 1", app.PendingRequests())
+	}
+	app.Release(first)
+	eng.Run()
+	if second == nil {
+		t.Fatal("second request should be satisfied after release")
+	}
+}
+
+func TestStrictPlacementWaitsForNode(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	// Fill node-01 completely.
+	var filler *Container
+	app.Request(Request{Resource: Resource{VCores: 4, MemMB: 4096}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { filler = c })
+	eng.RunUntil(5)
+	if filler == nil || filler.NodeID != "node-01" {
+		t.Fatalf("filler = %+v", filler)
+	}
+	var strictC *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { strictC = c })
+	eng.RunUntil(10)
+	if strictC != nil {
+		t.Fatal("strict request must wait for the hinted node even with capacity elsewhere")
+	}
+	app.Release(filler)
+	eng.Run()
+	if strictC == nil || strictC.NodeID != "node-01" {
+		t.Fatalf("strict request not satisfied on hinted node: %+v", strictC)
+	}
+}
+
+func TestRelaxedHintFallsBack(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	var filler *Container
+	app.Request(Request{Resource: Resource{VCores: 4, MemMB: 4096}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { filler = c })
+	eng.RunUntil(5)
+	var got *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}, NodeHint: "node-01"},
+		func(c *Container) { got = c })
+	eng.Run()
+	if got == nil || got.NodeID != "node-00" {
+		t.Fatalf("relaxed hint should fall back to another node, got %+v", got)
+	}
+	_ = filler
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	eng, rm := newRM(t, 1, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "")
+	var c *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}}, func(x *Container) { c = x })
+	eng.Run()
+	app.Release(c)
+	app.Release(c) // must not double-free
+	cores, _ := rm.FreeCapacity("node-00")
+	if cores != 3 { // 4 - AM(1)
+		t.Fatalf("free cores = %d, want 3", cores)
+	}
+}
+
+func TestFinishDropsPendingAndReleasesAM(t *testing.T) {
+	eng, rm := newRM(t, 1, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "")
+	fired := false
+	app.Request(Request{Resource: Resource{VCores: 64, MemMB: 512}}, func(*Container) { fired = true })
+	app.Finish()
+	eng.Run()
+	if fired {
+		t.Fatal("pending request fired after Finish")
+	}
+	cores, mem := rm.FreeCapacity("node-00")
+	if cores != 4 || mem != 4096 {
+		t.Fatalf("capacity not fully restored: %d cores %d MB", cores, mem)
+	}
+	// Requests after Finish are ignored.
+	app.Request(Request{}, func(*Container) { fired = true })
+	eng.Run()
+	if fired {
+		t.Fatal("request after Finish fired")
+	}
+}
+
+func TestKillNodeNotifiesAndReallocates(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	var c *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}, NodeHint: "node-01", Strict: true},
+		func(x *Container) { c = x })
+	eng.Run()
+	lost := false
+	c.OnLost = func() { lost = true }
+	rm.KillNode("node-01")
+	eng.Run()
+	if !lost {
+		t.Fatal("OnLost not fired")
+	}
+	if got := rm.LiveNodes(); len(got) != 1 || got[0] != "node-00" {
+		t.Fatalf("live nodes = %v", got)
+	}
+	// New allocation lands on the surviving node.
+	var c2 *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}}, func(x *Container) { c2 = x })
+	eng.Run()
+	if c2 == nil || c2.NodeID != "node-00" {
+		t.Fatalf("post-crash container = %+v", c2)
+	}
+}
+
+func TestKillNodeTwiceHarmless(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	rm.KillNode("node-01")
+	rm.KillNode("node-01")
+	rm.KillNode("node-77")
+	eng.Run()
+	if len(rm.LiveNodes()) != 1 {
+		t.Fatalf("live = %v", rm.LiveNodes())
+	}
+}
+
+func TestAllocationPrefersEmptiestNode(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00") // node-00 now has 3 free cores
+	var got *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}}, func(c *Container) { got = c })
+	eng.Run()
+	if got.NodeID != "node-01" {
+		t.Fatalf("allocated on %s, want emptiest node-01", got.NodeID)
+	}
+}
+
+func TestManyContainersAcrossNodes(t *testing.T) {
+	eng, rm := newRM(t, 4, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	nodes := map[string]int{}
+	count := 0
+	for i := 0; i < 15; i++ { // 16 total cores - 1 AM = 15
+		app.Request(Request{Resource: Resource{VCores: 1, MemMB: 256}}, func(c *Container) {
+			nodes[c.NodeID]++
+			count++
+		})
+	}
+	eng.Run()
+	if count != 15 {
+		t.Fatalf("allocated %d containers, want 15", count)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("containers should spread over all nodes: %v", nodes)
+	}
+	if rm.Allocated != 16 { // incl. AM
+		t.Fatalf("Allocated = %d, want 16", rm.Allocated)
+	}
+}
+
+func TestFairSharingInterleavesApps(t *testing.T) {
+	// One node with 4 free cores after two AMs; app1 floods the queue
+	// before app2 submits a single request. FIFO starves app2; fair
+	// sharing serves it in the first round.
+	run := func(fair bool) (app2Got bool) {
+		eng, rm := newRM(t, 1, cluster.NodeSpec{VCores: 6, MemMB: 8192, CPUFactor: 1, DiskMBps: 1, NetMBps: 1},
+			Config{Fair: fair})
+		app1, _ := rm.SubmitApplication("big", "")
+		app2, _ := rm.SubmitApplication("small", "")
+		res := Resource{VCores: 1, MemMB: 512}
+		for i := 0; i < 8; i++ {
+			app1.Request(Request{Resource: res}, func(c *Container) {})
+		}
+		app2.Request(Request{Resource: res}, func(*Container) { app2Got = true })
+		// One allocation round: 4 containers fit (6 cores - 2 AMs).
+		eng.RunUntil(0.3)
+		return app2Got
+	}
+	if run(false) {
+		t.Fatal("FIFO should serve app1's earlier requests first")
+	}
+	if !run(true) {
+		t.Fatal("fair sharing should serve app2 within the first round")
+	}
+}
+
+func TestFairOrderRoundRobin(t *testing.T) {
+	a1 := &Application{ID: 1}
+	a2 := &Application{ID: 2}
+	mk := func(app *Application, seq int64) *pendingReq {
+		return &pendingReq{app: app, seq: seq}
+	}
+	pending := []*pendingReq{mk(a1, 1), mk(a1, 2), mk(a1, 3), mk(a2, 4), mk(a2, 5)}
+	got := fairOrder(pending)
+	wantApps := []int{1, 2, 1, 2, 1}
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, w := range wantApps {
+		if got[i].app.ID != w {
+			t.Fatalf("position %d: app %d, want %d", i, got[i].app.ID, w)
+		}
+	}
+}
+
+func TestRequestFromAllocationCallback(t *testing.T) {
+	eng, rm := newRM(t, 1, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "")
+	var chain int
+	var recurse func(c *Container)
+	recurse = func(c *Container) {
+		chain++
+		app.Release(c)
+		if chain < 3 {
+			app.Request(Request{Resource: Resource{VCores: 1, MemMB: 256}}, recurse)
+		}
+	}
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 256}}, recurse)
+	eng.Run()
+	if chain != 3 {
+		t.Fatalf("chained allocations = %d, want 3", chain)
+	}
+}
