@@ -159,3 +159,24 @@ func BenchmarkAblationContainerSizing(b *testing.B) {
 		b.ReportMetric(res.TailoredMin, "tailored-min")
 	}
 }
+
+// BenchmarkAblationFaultTolerance sweeps injected failure rates over three
+// policies with speculation off/on (the robustness layer's headline
+// numbers: makespan cost of faults, and what speculation buys back).
+func BenchmarkAblationFaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FaultToleranceAblation(2, 29)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.CrashRate == 0.25 && r.Policy == "fcfs" {
+				mode := "nospec"
+				if r.Speculate {
+					mode = "spec"
+				}
+				b.ReportMetric(r.MedianSec, "fcfs-r25-"+mode+"-s")
+			}
+		}
+	}
+}

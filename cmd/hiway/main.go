@@ -9,6 +9,7 @@
 //	hiway local -w wf.cf [-workdir DIR] [-workers N] [-bind name=path]
 //	hiway sim   -w wf.cf [-nodes N] [-policy fcfs|dataaware|roundrobin|heft]
 //	            [-input path=sizeMB ...] [-bind name=path] [-trace out.jsonl]
+//	            [-chaos SPEC] [-chaos-seed N] [-timeout-floor SEC] [-speculate]
 //
 // The language is detected from the file extension (.cf/.cuneiform, .dax/
 // .xml, .ga [Galaxy JSON], .jsonl/.trace) and can be forced with -lang.
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/core"
 	"hiway/internal/hdfs"
@@ -193,6 +195,11 @@ func runSim(args []string) error {
 	tracePath := fs.String("trace", "", "write the provenance trace (re-executable) to this file")
 	gantt := fs.Bool("gantt", false, "print a per-node text timeline after the run")
 	timelinePath := fs.String("timeline", "", "write the per-task timeline CSV to this file")
+	chaosSpec := fs.String("chaos", "", "chaos plan, e.g. 'crashrate=0.1;hang=bowtie2@0:1;kill=node-03@60'")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for chaos rate draws")
+	timeoutFloor := fs.Float64("timeout-floor", 0, "attempt timeout floor in seconds (0 disables timeouts)")
+	timeoutSlack := fs.Float64("timeout-slack", 3, "deadline = max(floor, p95 runtime x slack)")
+	speculate := fs.Bool("speculate", false, "race timed-out attempts against a duplicate on another node")
 	var inputs, binds multiFlag
 	fs.Var(&inputs, "input", "stage an input file: path=sizeMB (repeatable)")
 	fs.Var(&binds, "bind", "bind a Galaxy input: name=path (repeatable)")
@@ -251,11 +258,27 @@ func runSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.Run(env, driver, sched, core.Config{})
+	cfg := core.Config{
+		TaskTimeoutFloorSec: *timeoutFloor,
+		TimeoutSlack:        *timeoutSlack,
+		Speculate:           *speculate,
+	}
+	if *chaosSpec != "" {
+		plan, err := chaos.Parse(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return err
+		}
+		plan.Arm(eng, env.RM, env.FS, env.Cluster)
+		cfg.Chaos = plan
+		// Under injected faults, track node health so repeatedly failing
+		// nodes get blacklisted like they would in production.
+		cfg.Health = scheduler.NewNodeHealthTracker(eng.Now, 3, 60)
+		fmt.Println("chaos:", plan)
+	}
+	rep, err := core.Run(env, driver, sched, cfg)
 	if err != nil {
 		return err
 	}
-	_ = eng
 	fmt.Println(rep.Summary())
 	for _, out := range rep.Outputs {
 		fmt.Println("output:", out)

@@ -11,15 +11,28 @@
 // driver, which — for iterative languages — may discover entirely new
 // tasks. Failed tasks are retried on other compute nodes; provenance is
 // emitted at workflow, task, and file granularity.
+//
+// The fault-tolerance layer adds: per-attempt deadlines derived from
+// provenance runtime estimates, after which an attempt is killed and
+// retried or raced against a speculative duplicate on another node; node
+// health reporting that feeds scheduler blacklists; chaos-driven fault
+// injection; an abrupt Kill (the AM process dying); and Resume, which
+// reconstructs completed work from the provenance store instead of
+// re-executing it.
 package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 
+	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/hdfs"
 	"hiway/internal/provenance"
 	"hiway/internal/scheduler"
+	"hiway/internal/sim"
 	"hiway/internal/wf"
 	"hiway/internal/yarn"
 )
@@ -32,10 +45,19 @@ type Env struct {
 	Prov    *provenance.Manager // optional
 }
 
+// HealthReporter receives per-attempt node outcomes; the AM reports every
+// success, failure, and timeout. scheduler.NodeHealthTracker implements it
+// (and, via scheduler.NodeHealth, feeds the blacklist all policies consult).
+type HealthReporter interface {
+	ReportSuccess(node string)
+	ReportFailure(node string)
+}
+
 // Config tunes one workflow execution.
 type Config struct {
 	// WorkflowID uniquely identifies the run in provenance; derived from
-	// the driver name if empty.
+	// the driver name if empty. Resume requires it to match the crashed
+	// run's ID.
 	WorkflowID string
 
 	// ContainerVCores/ContainerMemMB size the identical worker containers
@@ -61,7 +83,33 @@ type Config struct {
 
 	// FaultInjector, if set, is consulted per attempt; returning true
 	// makes that attempt fail (the stand-in for real tool crashes).
+	// Superseded by Chaos, which can also hang attempts; both may be set.
 	FaultInjector func(t *wf.Task, node string, attempt int) bool
+
+	// Chaos, if set, decides the fate of every attempt (run, crash, or
+	// hang forever). chaos.Plan implements it deterministically.
+	Chaos chaos.Injector
+
+	// Health, if set, receives the outcome of every attempt per node.
+	// When the scheduler is HealthAware and Health implements
+	// scheduler.NodeHealth (as NodeHealthTracker does), the AM wires the
+	// two together so blacklisted nodes stop receiving tasks.
+	Health HealthReporter
+
+	// TaskTimeoutFloorSec enables per-attempt deadlines: an attempt's
+	// deadline is max(floor, p95 runtime × TimeoutSlack), with the p95
+	// taken from provenance. Zero disables timeouts (and with them,
+	// speculation) — a hung attempt then stalls the workflow loudly.
+	TaskTimeoutFloorSec float64
+
+	// TimeoutSlack multiplies the p95 runtime estimate; default 3.
+	TimeoutSlack float64
+
+	// Speculate launches a duplicate attempt on another node when the
+	// deadline passes (at most one duplicate per task) instead of killing
+	// the attempt outright; the faster copy wins, the loser is canceled
+	// and its container released.
+	Speculate bool
 }
 
 func (c *Config) setDefaults() {
@@ -78,6 +126,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Behavior == nil {
 		c.Behavior = wf.DefaultOutcome
+	}
+	if c.TimeoutSlack <= 0 {
+		c.TimeoutSlack = 3
 	}
 }
 
@@ -96,6 +147,32 @@ type Report struct {
 	Outputs    []string
 	Retries    int
 	Containers int64 // worker containers allocated for this workflow
+
+	// Fault-tolerance accounting.
+	Recovered   int // tasks reconstructed from provenance by Resume
+	TimedOut    int // attempts that hit their deadline
+	Speculative int // speculative duplicate attempts launched
+}
+
+// attempt is one container execution of a task. A task has one live attempt
+// normally, two while a speculative duplicate races the original.
+type attempt struct {
+	t   *wf.Task
+	c   *yarn.Container
+	res *wf.TaskResult
+	idx int // zero-based attempt index, unique per task
+
+	job   *sim.Job   // compute phase, cancellable
+	timer *sim.Event // pending deadline
+
+	canceled bool // killed (timeout kill or superseded by a sibling)
+	lost     bool // hosting node died
+	done     bool // outcome already processed
+}
+
+// dead reports whether the attempt's async callbacks should stop.
+func (a *attempt) dead(am *AM) bool {
+	return a.canceled || a.lost || a.done || am.finished
 }
 
 // AM is one Hi-WAY application master instance.
@@ -106,16 +183,73 @@ type AM struct {
 	sched  scheduler.Scheduler
 	app    *yarn.Application
 
-	running    map[int64]bool
+	attempts   map[int64][]*attempt // task ID → live attempts
+	attemptSeq map[int64]int        // task ID → next attempt index
+	speculated map[int64]bool       // task ID → duplicate already launched
+	completed  map[int64]bool       // task ID → a result was accepted
 	retries    map[int64]int
 	excluded   map[int64]map[string]bool
 	results    []*wf.TaskResult
 	containers int64
 	retriesSum int
 
+	recovered   int
+	timedOut    int
+	speculative int
+
 	start    float64
 	finished bool
+	killed   bool
 	report   *Report
+}
+
+// newAM builds the AM, submits its application, parses the workflow, and
+// plans static schedules — the plumbing shared by Launch and Resume. It
+// returns the initially ready tasks.
+func newAM(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*AM, []*wf.Task, error) {
+	am := &AM{
+		env:        env,
+		cfg:        cfg,
+		driver:     driver,
+		sched:      sched,
+		attempts:   make(map[int64][]*attempt),
+		attemptSeq: make(map[int64]int),
+		speculated: make(map[int64]bool),
+		completed:  make(map[int64]bool),
+		retries:    make(map[int64]int),
+		excluded:   make(map[int64]map[string]bool),
+	}
+	if cfg.Health != nil {
+		if ha, ok := sched.(scheduler.HealthAware); ok {
+			if nh, ok := cfg.Health.(scheduler.NodeHealth); ok {
+				ha.SetNodeHealth(nh)
+			}
+		}
+	}
+	app, err := env.RM.SubmitApplication(cfg.WorkflowID, cfg.AMNode)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: submitting AM: %w", err)
+	}
+	am.app = app
+	am.start = env.Cluster.Engine.Now()
+
+	ready, err := driver.Parse()
+	if err != nil {
+		app.Finish()
+		return nil, nil, fmt.Errorf("core: parsing workflow %s: %w", driver.Name(), err)
+	}
+	if planner, ok := sched.(scheduler.StaticPlanner); ok {
+		static, ok := driver.(wf.StaticDriver)
+		if !ok {
+			app.Finish()
+			return nil, nil, fmt.Errorf("core: static policy %q cannot run iterative %s workflows (§3.4)", sched.Name(), driver.Name())
+		}
+		if err := planner.Plan(static.Graph(), am.plannableNodes()); err != nil {
+			app.Finish()
+			return nil, nil, fmt.Errorf("core: planning: %w", err)
+		}
+	}
+	return am, ready, nil
 }
 
 // Launch submits a new AM for the driver's workflow and begins execution.
@@ -126,39 +260,11 @@ func Launch(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*
 	if cfg.WorkflowID == "" {
 		cfg.WorkflowID = fmt.Sprintf("hiway-%s-%d", driver.Name(), wf.NextID())
 	}
-	am := &AM{
-		env:      env,
-		cfg:      cfg,
-		driver:   driver,
-		sched:    sched,
-		running:  make(map[int64]bool),
-		retries:  make(map[int64]int),
-		excluded: make(map[int64]map[string]bool),
-	}
-	app, err := env.RM.SubmitApplication(cfg.WorkflowID, cfg.AMNode)
+	am, ready, err := newAM(env, driver, sched, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: submitting AM: %w", err)
+		return nil, err
 	}
-	am.app = app
-	am.start = env.Cluster.Engine.Now()
 	am.provWorkflowStart()
-
-	ready, err := driver.Parse()
-	if err != nil {
-		app.Finish()
-		return nil, fmt.Errorf("core: parsing workflow %s: %w", driver.Name(), err)
-	}
-	if planner, ok := sched.(scheduler.StaticPlanner); ok {
-		static, ok := driver.(wf.StaticDriver)
-		if !ok {
-			app.Finish()
-			return nil, fmt.Errorf("core: static policy %q cannot run iterative %s workflows (§3.4)", sched.Name(), driver.Name())
-		}
-		if err := planner.Plan(static.Graph(), am.plannableNodes()); err != nil {
-			app.Finish()
-			return nil, fmt.Errorf("core: planning: %w", err)
-		}
-	}
 	if len(ready) == 0 && driver.Done() {
 		// Degenerate workflow with no work (e.g. mapping over nil).
 		am.finish(nil)
@@ -186,12 +292,146 @@ func Run(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*Rep
 	return am.Report()
 }
 
+// Resume continues a workflow whose AM died mid-run. Completed tasks are
+// reconstructed from the provenance store — matched by task signature and
+// input paths against the freshly parsed workflow, accepted only if every
+// recorded output is still readable in HDFS — and fed back to the driver
+// as if they had just finished, so only lost work re-executes. This is the
+// operational form of the paper's re-executable traces (§3.5): provenance
+// is the recovery substrate, not just a log.
+//
+// cfg.WorkflowID must be the crashed run's ID, and env must be the same
+// substrate (the cluster and HDFS survive an AM crash; only the AM state
+// is lost).
+func Resume(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config, store provenance.Store) (*AM, error) {
+	cfg.setDefaults()
+	if cfg.WorkflowID == "" {
+		return nil, fmt.Errorf("core: Resume needs the crashed run's WorkflowID")
+	}
+	events, err := store.Events()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading provenance for resume: %w", err)
+	}
+	// Successful recorded attempts of this workflow, keyed by signature +
+	// input paths. Task IDs are process-local and differ across AM
+	// incarnations; structure identifies the task.
+	recorded := make(map[string][]provenance.Event)
+	for _, ev := range events {
+		if ev.Type == provenance.TaskEnd && ev.WorkflowID == cfg.WorkflowID && ev.ExitCode == 0 && ev.Error == "" {
+			key := recoveryKeyFromEvent(ev)
+			recorded[key] = append(recorded[key], ev)
+		}
+	}
+
+	am, ready, err := newAM(env, driver, sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Recover the frontier transitively: a recovered task may unlock
+	// successors that are themselves recoverable.
+	var torun []*wf.Task
+	frontier := ready
+	for len(frontier) > 0 {
+		var next []*wf.Task
+		for _, t := range frontier {
+			key := recoveryKey(t.Name, t.Inputs)
+			evs := recorded[key]
+			if len(evs) == 0 || !am.outputsIntact(evs[0]) {
+				torun = append(torun, t)
+				continue
+			}
+			ev := evs[0]
+			recorded[key] = evs[1:]
+			res := synthesizeResult(t, ev)
+			am.recovered++
+			nts, err := driver.OnTaskComplete(res)
+			if err != nil {
+				am.finish(err)
+				return am, nil
+			}
+			next = append(next, nts...)
+		}
+		frontier = next
+	}
+
+	if env.Prov != nil {
+		_ = env.Prov.RecordWorkflowResume(cfg.WorkflowID, driver.Name(), env.Cluster.Engine.Now(), am.recovered)
+	}
+	if driver.Done() {
+		am.finish(nil)
+		return am, nil
+	}
+	if len(torun) == 0 {
+		am.finish(fmt.Errorf("core: resume of %s recovered %d tasks but found no runnable work", driver.Name(), am.recovered))
+		return am, nil
+	}
+	for _, t := range torun {
+		am.submit(t)
+	}
+	return am, nil
+}
+
+// recoveryKey identifies a task structurally across AM incarnations.
+func recoveryKey(signature string, inputs []string) string {
+	sorted := append([]string(nil), inputs...)
+	sort.Strings(sorted)
+	return signature + "\x00" + strings.Join(sorted, "\x00")
+}
+
+func recoveryKeyFromEvent(ev provenance.Event) string {
+	paths := make([]string, 0, len(ev.Inputs))
+	for _, in := range ev.Inputs {
+		paths = append(paths, in.Path)
+	}
+	return recoveryKey(ev.Signature, paths)
+}
+
+// outputsIntact verifies every output the recorded attempt produced is
+// still fully readable in HDFS (a datanode loss may have destroyed blocks
+// since the run; such tasks must re-execute).
+func (am *AM) outputsIntact(ev provenance.Event) bool {
+	for _, out := range ev.Outputs {
+		if !am.env.FS.Readable(out.Path) {
+			return false
+		}
+	}
+	return true
+}
+
+// synthesizeResult rebuilds the TaskResult a recorded attempt would have
+// produced, bound to the freshly parsed task object.
+func synthesizeResult(t *wf.Task, ev provenance.Event) *wf.TaskResult {
+	res := &wf.TaskResult{
+		Task:        t,
+		Node:        ev.Node,
+		Start:       ev.Timestamp - ev.DurationSec,
+		End:         ev.Timestamp,
+		StageInSec:  ev.StageInSec,
+		ExecSec:     ev.ExecSec,
+		StageOutSec: ev.StageOutSec,
+		Attempt:     ev.Attempt,
+		Outputs:     make(map[string][]wf.FileInfo),
+	}
+	for _, out := range ev.Outputs {
+		param := out.Param
+		if param == "" {
+			param = "out"
+		}
+		res.Outputs[param] = append(res.Outputs[param], wf.FileInfo{Path: out.Path, SizeMB: out.SizeMB})
+	}
+	return res
+}
+
 // Report returns the execution report; an error if the workflow has not
 // terminated (the engine quiesced with work outstanding — a deadlock).
 func (am *AM) Report() (*Report, error) {
 	if am.report == nil {
-		return nil, fmt.Errorf("core: workflow %s stalled: %d running, %d queued, %d requests pending, driver done=%v",
-			am.driver.Name(), len(am.running), am.sched.Queued(), am.app.PendingRequests(), am.driver.Done())
+		if am.killed {
+			return nil, fmt.Errorf("core: AM for workflow %s was killed", am.driver.Name())
+		}
+		return nil, fmt.Errorf("core: workflow %s stalled: %d attempts running, %d queued, %d requests pending, driver done=%v",
+			am.driver.Name(), am.runningAttempts(), am.sched.Queued(), am.app.PendingRequests(), am.driver.Done())
 	}
 	if am.report.Err != nil {
 		return am.report, am.report.Err
@@ -206,8 +446,56 @@ func (am *AM) Finished() bool { return am.finished }
 // (load models and monitors poll it during execution).
 func (am *AM) CompletedTasks() int { return len(am.results) }
 
+// RecoveredTasks returns how many tasks Resume reconstructed from
+// provenance instead of executing.
+func (am *AM) RecoveredTasks() int { return am.recovered }
+
 // AMNodeID returns the node hosting the AM container.
 func (am *AM) AMNodeID() string { return am.app.AMContainer.NodeID }
+
+// runningAttempts counts live attempts across all tasks.
+func (am *AM) runningAttempts() int {
+	n := 0
+	for _, list := range am.attempts {
+		n += len(list)
+	}
+	return n
+}
+
+// Kill terminates the AM abruptly — the simulated equivalent of the AM
+// process dying mid-run. Live attempts stop, every container (workers and
+// AM) is released, and deliberately no workflow-end provenance is written:
+// the trace is left exactly as a crash leaves it, which is what Resume
+// recovers from.
+func (am *AM) Kill() {
+	if am.finished {
+		return
+	}
+	am.finished = true
+	am.killed = true
+	eng := am.env.Cluster.Engine
+	ids := make([]int64, 0, len(am.attempts))
+	for id := range am.attempts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, a := range am.attempts[id] {
+			a.canceled = true
+			a.done = true
+			if a.timer != nil {
+				eng.Cancel(a.timer)
+				a.timer = nil
+			}
+			if a.job != nil {
+				a.job.Cancel()
+			}
+			am.app.Release(a.c)
+		}
+		delete(am.attempts, id)
+	}
+	am.app.Finish()
+}
 
 // plannableNodes lists nodes that can host at least one worker container
 // right now — the view a static planner gets.
@@ -266,9 +554,55 @@ func (am *AM) hintAvoiding(excl map[string]bool) string {
 	return best
 }
 
+// retryTarget picks the live node to re-pin a task onto: not excluded,
+// preferring one where the task's container currently fits — the AM node,
+// for instance, may never have room for a worker container, and a strict
+// request pinned there would wait forever.
+func (am *AM) retryTarget(t *wf.Task, excl map[string]bool) string {
+	res := am.containerResource(t)
+	// Capacity our own live attempts hold per node: it will be released
+	// when they finish, so a node busy with our work is still viable —
+	// unlike the AM node, whose deficit is permanent.
+	heldCores := map[string]int{}
+	heldMem := map[string]int{}
+	for _, list := range am.attempts {
+		for _, a := range list {
+			heldCores[a.c.NodeID] += a.c.Resource.VCores
+			heldMem[a.c.NodeID] += a.c.Resource.MemMB
+		}
+	}
+	best, bestCores := "", -1
+	roomy, fallback := "", ""
+	for _, id := range am.env.RM.LiveNodes() {
+		if excl[id] {
+			continue
+		}
+		if fallback == "" {
+			fallback = id
+		}
+		cores, mem := am.env.RM.FreeCapacity(id)
+		if cores >= res.VCores && mem >= res.MemMB && cores > bestCores {
+			best, bestCores = id, cores
+		}
+		if roomy == "" && cores+heldCores[id] >= res.VCores && mem+heldMem[id] >= res.MemMB {
+			roomy = id
+		}
+	}
+	switch {
+	case best != "":
+		return best
+	case roomy != "":
+		return roomy
+	default:
+		return fallback
+	}
+}
+
 // requestContainer asks YARN for a container suitable for t. The request is
 // anonymous unless the policy pins tasks or containers are task-sized.
 // Tasks with failed attempts steer their request away from excluded nodes.
+// A strict request whose pinned node dies while pending is re-planned onto
+// a surviving node and re-requested.
 func (am *AM) requestContainer(t *wf.Task) {
 	hint, strict := am.sched.Placement(t)
 	if excl := am.excluded[t.ID]; len(excl) > 0 && !strict {
@@ -277,18 +611,44 @@ func (am *AM) requestContainer(t *wf.Task) {
 		}
 	}
 	req := yarn.Request{Resource: am.containerResource(t), NodeHint: hint, Strict: strict}
+	if strict {
+		req.OnUnplaceable = func(yarn.Request) { am.onUnplaceable(t) }
+	}
 	if am.cfg.SizeContainersByTask {
 		// Task-addressed container: run exactly this task on allocation.
-		am.app.Request(req, func(c *yarn.Container) { am.launchTask(t, c) })
+		am.app.Request(req, func(c *yarn.Container) { am.launchAttempt(t, c, false) })
 		return
 	}
 	am.app.Request(req, am.onAnonymousContainer)
 }
 
+// onUnplaceable re-routes a task whose strictly pinned node died while the
+// container request was pending: the static plan moves to a surviving node
+// and the request is reissued there.
+func (am *AM) onUnplaceable(t *wf.Task) {
+	if am.finished || am.completed[t.ID] {
+		return
+	}
+	live := am.env.RM.LiveNodes()
+	if len(live) == 0 {
+		am.finish(fmt.Errorf("core: no live nodes left to place %s", t))
+		return
+	}
+	if ra, ok := am.sched.(scheduler.Reassigner); ok {
+		target := am.retryTarget(t, am.excluded[t.ID])
+		if target == "" {
+			target = live[0]
+		}
+		ra.Reassign(t, target)
+	}
+	am.requestContainer(t)
+}
+
 // onAnonymousContainer matches an allocated container to a queued task via
 // the scheduling policy. A nil selection with work still queued means the
-// policy declined this node (e.g. adaptive-greedy on a known-slow machine):
-// release the container and re-request one steered elsewhere.
+// policy declined this node (adaptive-greedy on a known-slow machine, any
+// policy on a blacklisted one): release the container and re-request one
+// steered elsewhere.
 func (am *AM) onAnonymousContainer(c *yarn.Container) {
 	task := am.sched.Select(c.NodeID)
 	if task == nil {
@@ -302,16 +662,45 @@ func (am *AM) onAnonymousContainer(c *yarn.Container) {
 		}
 		return
 	}
-	am.launchTask(task, c)
+	am.launchAttempt(task, c, false)
 }
 
-// launchTask drives one container lifecycle for the task.
-func (am *AM) launchTask(t *wf.Task, c *yarn.Container) {
-	if am.finished {
+// attemptDeadline computes the per-attempt deadline for a task: the
+// configured floor, raised to p95 × slack once provenance has runtime
+// history for the signature. Zero means no deadline.
+func (am *AM) attemptDeadline(t *wf.Task) float64 {
+	if am.cfg.TaskTimeoutFloorSec <= 0 {
+		return 0
+	}
+	d := am.cfg.TaskTimeoutFloorSec
+	if am.env.Prov != nil {
+		if p95, ok := am.env.Prov.RuntimeP95(t.Name); ok {
+			if s := p95 * am.cfg.TimeoutSlack; s > d {
+				d = s
+			}
+		}
+	}
+	return d
+}
+
+// fate consults the fault injectors for this attempt.
+func (am *AM) fate(t *wf.Task, node string, attempt int) chaos.Fate {
+	if am.cfg.FaultInjector != nil && am.cfg.FaultInjector(t, node, attempt) {
+		return chaos.FateCrash
+	}
+	if am.cfg.Chaos != nil {
+		return am.cfg.Chaos.TaskFate(t, node, attempt)
+	}
+	return chaos.FateRun
+}
+
+// launchAttempt drives one container lifecycle for the task.
+func (am *AM) launchAttempt(t *wf.Task, c *yarn.Container, speculative bool) {
+	if am.finished || am.completed[t.ID] {
 		am.app.Release(c)
 		return
 	}
-	if am.excluded[t.ID][c.NodeID] {
+	if am.excluded[t.ID][c.NodeID] && !speculative {
 		// The task already failed on this node; re-queue it and ask for a
 		// different container (the paper's retry-on-different-node).
 		am.sched.OnTaskReady(t)
@@ -324,73 +713,90 @@ func (am *AM) launchTask(t *wf.Task, c *yarn.Container) {
 		am.finish(fmt.Errorf("core: container on unknown node %s", c.NodeID))
 		return
 	}
-	am.running[t.ID] = true
-	am.containers++
 	eng := am.env.Cluster.Engine
-	res := &wf.TaskResult{Task: t, Node: c.NodeID, Start: eng.Now()}
-	am.provTaskStart(t, c.NodeID)
+	idx := am.attemptSeq[t.ID]
+	am.attemptSeq[t.ID]++
+	a := &attempt{
+		t: t, c: c, idx: idx,
+		res: &wf.TaskResult{Task: t, Node: c.NodeID, Start: eng.Now(), Attempt: idx, Speculative: speculative},
+	}
+	am.attempts[t.ID] = append(am.attempts[t.ID], a)
+	am.containers++
+	am.provTaskStart(t, c.NodeID, idx)
 
-	lost := false
+	if d := am.attemptDeadline(t); d > 0 {
+		a.timer = eng.Schedule(d, func() { am.onAttemptTimeout(a) })
+	}
+
 	c.OnLost = func() {
-		lost = true
-		res.End = eng.Now()
-		res.ExitCode = -1
-		res.Error = fmt.Sprintf("node %s lost during execution", c.NodeID)
-		am.onTaskFinished(t, c, res, false)
+		if a.dead(am) {
+			return
+		}
+		a.lost = true
+		a.res.End = eng.Now()
+		a.res.ExitCode = -1
+		a.res.Error = fmt.Sprintf("node %s lost during execution", c.NodeID)
+		am.onAttemptFinished(a, false)
 	}
 
 	stageInStart := eng.Now()
 	am.env.FS.Read(c.NodeID, t.Inputs, func(err error) {
-		if lost || am.finished {
+		if a.dead(am) {
 			am.app.Release(c)
 			return
 		}
 		if err != nil {
-			res.End = eng.Now()
-			res.ExitCode = 1
-			res.Error = fmt.Sprintf("stage-in: %v", err)
-			am.onTaskFinished(t, c, res, false)
+			a.res.End = eng.Now()
+			a.res.ExitCode = 1
+			a.res.Error = fmt.Sprintf("stage-in: %v", err)
+			am.onAttemptFinished(a, false)
 			return
 		}
-		res.StageInSec = eng.Now() - stageInStart
+		a.res.StageInSec = eng.Now() - stageInStart
 
 		threads := t.Threads
 		if threads > c.Resource.VCores {
 			threads = c.Resource.VCores
 		}
+		fate := am.fate(t, c.NodeID, idx)
+		work := t.CPUSeconds
+		if fate == chaos.FateHang {
+			// A wedged process: computes forever, never calls back. Only
+			// the attempt deadline (kill or speculation) recovers from it.
+			work = math.Inf(1)
+		}
 		execStart := eng.Now()
-		am.env.Cluster.Compute(node, t.CPUSeconds, threads, func() {
-			if lost || am.finished {
+		a.job = am.env.Cluster.Compute(node, work, threads, func() {
+			if a.dead(am) {
 				am.app.Release(c)
 				return
 			}
-			res.ExecSec = eng.Now() - execStart
+			a.res.ExecSec = eng.Now() - execStart
 
-			attempt := am.retries[t.ID]
-			if am.cfg.FaultInjector != nil && am.cfg.FaultInjector(t, c.NodeID, attempt) {
-				res.End = eng.Now()
-				res.ExitCode = 1
-				res.Error = "injected fault"
-				am.onTaskFinished(t, c, res, false)
+			if fate == chaos.FateCrash {
+				a.res.End = eng.Now()
+				a.res.ExitCode = 1
+				a.res.Error = "injected fault"
+				am.onAttemptFinished(a, false)
 				return
 			}
 			outcome := am.cfg.Behavior(t)
-			res.ExitCode = outcome.ExitCode
-			res.Error = outcome.Error
-			res.Outputs = outcome.Outputs
-			if !res.Succeeded() {
-				res.End = eng.Now()
-				am.onTaskFinished(t, c, res, false)
+			a.res.ExitCode = outcome.ExitCode
+			a.res.Error = outcome.Error
+			a.res.Outputs = outcome.Outputs
+			if !a.res.Succeeded() {
+				a.res.End = eng.Now()
+				am.onAttemptFinished(a, false)
 				return
 			}
 
 			// Stage out every produced file to HDFS.
 			stageOutStart := eng.Now()
-			files := res.OutputFiles()
+			files := a.res.OutputFiles()
 			pending := len(files)
 			if pending == 0 {
-				res.End = eng.Now()
-				am.onTaskFinished(t, c, res, true)
+				a.res.End = eng.Now()
+				am.onAttemptFinished(a, true)
 				return
 			}
 			var writeErr error
@@ -403,86 +809,206 @@ func (am *AM) launchTask(t *wf.Task, c *yarn.Container) {
 					if pending > 0 {
 						return
 					}
-					if lost || am.finished {
+					if a.dead(am) {
 						am.app.Release(c)
 						return
 					}
-					res.StageOutSec = eng.Now() - stageOutStart
-					res.End = eng.Now()
+					a.res.StageOutSec = eng.Now() - stageOutStart
+					a.res.End = eng.Now()
 					if writeErr != nil {
-						res.ExitCode = 1
-						res.Error = fmt.Sprintf("stage-out: %v", writeErr)
-						am.onTaskFinished(t, c, res, false)
+						a.res.ExitCode = 1
+						a.res.Error = fmt.Sprintf("stage-out: %v", writeErr)
+						am.onAttemptFinished(a, false)
 						return
 					}
-					am.onTaskFinished(t, c, res, true)
+					am.onAttemptFinished(a, true)
 				})
 			}
 		})
 	})
 }
 
-// onTaskFinished handles completion (ok) or failure of one attempt.
-func (am *AM) onTaskFinished(t *wf.Task, c *yarn.Container, res *wf.TaskResult, ok bool) {
-	delete(am.running, t.ID)
-	am.app.Release(c)
-	am.provTaskEnd(res)
+// onAttemptTimeout fires when an attempt outlives its deadline. With
+// speculation available the attempt keeps running and a duplicate races it
+// from another node; otherwise (or once the task has already speculated)
+// every live attempt of the task is killed and the task retries.
+func (am *AM) onAttemptTimeout(a *attempt) {
+	a.timer = nil
+	if a.dead(am) || am.completed[a.t.ID] {
+		return
+	}
+	am.timedOut++
+	t := a.t
+	if am.cfg.Health != nil {
+		am.cfg.Health.ReportFailure(a.res.Node)
+	}
+	if am.cfg.Speculate && !am.speculated[t.ID] {
+		am.speculated[t.ID] = true
+		am.speculative++
+		avoid := map[string]bool{a.res.Node: true}
+		for n := range am.excluded[t.ID] {
+			avoid[n] = true
+		}
+		req := yarn.Request{Resource: am.containerResource(t), NodeHint: am.hintAvoiding(avoid)}
+		am.app.Request(req, func(c *yarn.Container) { am.launchAttempt(t, c, true) })
+		// Re-arm this attempt's deadline: if the duplicate dies too (or
+		// never gets a container), the second firing takes the
+		// kill-and-retry path instead of leaving a hung attempt behind.
+		if d := am.attemptDeadline(t); d > 0 {
+			a.timer = am.env.Cluster.Engine.Schedule(d, func() { am.onAttemptTimeout(a) })
+		}
+		return
+	}
+	// Kill-and-retry: cancel any sibling attempts first (a sibling is
+	// either itself past deadline or about to be superseded by the retry),
+	// then fail this attempt through the normal path.
+	for _, sib := range append([]*attempt(nil), am.attempts[t.ID]...) {
+		if sib != a {
+			am.cancelAttempt(sib, "killed after a sibling attempt timed out")
+		}
+	}
+	if a.job != nil {
+		a.job.Cancel()
+	}
+	now := am.env.Cluster.Engine.Now()
+	a.res.End = now
+	a.res.ExitCode = 124
+	a.res.Error = fmt.Sprintf("attempt timed out after %.1fs on %s", now-a.res.Start, a.res.Node)
+	am.onAttemptFinished(a, false)
+}
+
+// cancelAttempt withdraws a live attempt without routing it through retry:
+// its compute job stops contending, its container returns to YARN, and a
+// task-end event records why it was killed.
+func (am *AM) cancelAttempt(a *attempt, reason string) {
+	if a.done || a.canceled {
+		return
+	}
+	a.canceled = true
+	a.done = true
+	eng := am.env.Cluster.Engine
+	if a.timer != nil {
+		eng.Cancel(a.timer)
+		a.timer = nil
+	}
+	if a.job != nil {
+		a.job.Cancel()
+	}
+	am.removeAttempt(a)
+	a.res.End = eng.Now()
+	a.res.ExitCode = 137
+	a.res.Error = reason
+	am.provTaskEnd(a.res)
+	am.app.Release(a.c)
+}
+
+// removeAttempt drops the attempt from the task's live list.
+func (am *AM) removeAttempt(a *attempt) {
+	list := am.attempts[a.t.ID]
+	for i, x := range list {
+		if x == a {
+			list = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(am.attempts, a.t.ID)
+	} else {
+		am.attempts[a.t.ID] = list
+	}
+}
+
+// onAttemptFinished handles completion (ok) or failure of one attempt.
+func (am *AM) onAttemptFinished(a *attempt, ok bool) {
+	if a.done {
+		return
+	}
+	a.done = true
+	if a.timer != nil {
+		am.env.Cluster.Engine.Cancel(a.timer)
+		a.timer = nil
+	}
+	am.removeAttempt(a)
+	am.app.Release(a.c)
+	am.provTaskEnd(a.res)
 	if am.finished {
 		return
 	}
+	t := a.t
 
-	if !ok {
-		am.retries[t.ID]++
-		am.retriesSum++
-		if am.retries[t.ID] > am.cfg.MaxRetries {
-			am.results = append(am.results, res)
-			am.finish(fmt.Errorf("core: task %s failed %d times (last on %s): %s",
-				t, am.retries[t.ID], res.Node, res.Error))
+	if ok {
+		if am.completed[t.ID] {
 			return
 		}
-		// Exclude the failing node and retry elsewhere. If every node is
-		// excluded, start over (the node set may be partly dead).
-		excl := am.excluded[t.ID]
-		if excl == nil {
-			excl = make(map[string]bool)
-			am.excluded[t.ID] = excl
+		am.completed[t.ID] = true
+		if am.cfg.Health != nil {
+			am.cfg.Health.ReportSuccess(a.res.Node)
 		}
-		excl[res.Node] = true
-		if len(excl) >= len(am.env.RM.LiveNodes()) {
-			am.excluded[t.ID] = make(map[string]bool)
-			excl = am.excluded[t.ID]
+		// A speculative race has a loser: cancel it and release its
+		// container (no retry — the task is done).
+		for _, sib := range append([]*attempt(nil), am.attempts[t.ID]...) {
+			am.cancelAttempt(sib, "superseded: a duplicate attempt finished first")
 		}
-		// Static plans pin tasks to nodes; move the pin off the failing
-		// node so the strict retry request can be satisfied.
-		if ra, ok := am.sched.(scheduler.Reassigner); ok {
-			for _, id := range am.env.RM.LiveNodes() {
-				if !excl[id] {
-					ra.Reassign(t, id)
-					break
-				}
-			}
+		am.results = append(am.results, a.res)
+		next, err := am.driver.OnTaskComplete(a.res)
+		if err != nil {
+			am.finish(err)
+			return
 		}
-		am.sched.OnTaskReady(t)
-		am.requestContainer(t)
+		for _, nt := range next {
+			am.submit(nt)
+		}
+		if am.driver.Done() {
+			am.finish(nil)
+			return
+		}
+		am.checkStalled()
 		return
 	}
 
-	am.results = append(am.results, res)
-	next, err := am.driver.OnTaskComplete(res)
-	if err != nil {
-		am.finish(err)
+	// Failure (crash, stage-in/out error, node loss, or timeout kill).
+	if am.cfg.Health != nil {
+		am.cfg.Health.ReportFailure(a.res.Node)
+	}
+	if len(am.attempts[t.ID]) > 0 {
+		// A sibling attempt is still racing; it decides the task's fate.
 		return
 	}
-	for _, nt := range next {
-		am.submit(nt)
-	}
-	if am.driver.Done() {
-		am.finish(nil)
+	am.retries[t.ID]++
+	am.retriesSum++
+	if am.retries[t.ID] > am.cfg.MaxRetries {
+		am.results = append(am.results, a.res)
+		am.finish(fmt.Errorf("core: task %s failed %d times (last on %s): %s",
+			t, am.retries[t.ID], a.res.Node, a.res.Error))
 		return
 	}
-	// Deadlock check: nothing running, nothing queued, nothing requested,
-	// but the driver still expects progress.
-	if len(am.running) == 0 && am.sched.Queued() == 0 && am.app.PendingRequests() == 0 {
+	// Exclude the failing node and retry elsewhere. If every node is
+	// excluded, start over (the node set may be partly dead).
+	excl := am.excluded[t.ID]
+	if excl == nil {
+		excl = make(map[string]bool)
+		am.excluded[t.ID] = excl
+	}
+	excl[a.res.Node] = true
+	if len(excl) >= len(am.env.RM.LiveNodes()) {
+		am.excluded[t.ID] = make(map[string]bool)
+		excl = am.excluded[t.ID]
+	}
+	// Static plans pin tasks to nodes; move the pin off the failing
+	// node so the strict retry request can be satisfied.
+	if ra, ok := am.sched.(scheduler.Reassigner); ok {
+		if target := am.retryTarget(t, excl); target != "" {
+			ra.Reassign(t, target)
+		}
+	}
+	am.sched.OnTaskReady(t)
+	am.requestContainer(t)
+}
+
+// checkStalled fails the workflow if nothing is running, queued, or
+// requested while the driver still expects progress.
+func (am *AM) checkStalled() {
+	if len(am.attempts) == 0 && am.sched.Queued() == 0 && am.app.PendingRequests() == 0 {
 		am.finish(fmt.Errorf("core: workflow %s stalled with %d tasks finished", am.driver.Name(), len(am.results)))
 	}
 }
@@ -506,9 +1032,34 @@ func (am *AM) finish(err error) {
 		Results:      am.results,
 		Retries:      am.retriesSum,
 		Containers:   am.containers,
+		Recovered:    am.recovered,
+		TimedOut:     am.timedOut,
+		Speculative:  am.speculative,
 	}
 	if err == nil {
 		am.report.Outputs = am.driver.Outputs()
+	}
+	// Release any attempts still live (e.g. a failure elsewhere aborted
+	// the workflow while attempts were in flight).
+	ids := make([]int64, 0, len(am.attempts))
+	for id := range am.attempts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, a := range am.attempts[id] {
+			a.canceled = true
+			a.done = true
+			if a.timer != nil {
+				eng.Cancel(a.timer)
+				a.timer = nil
+			}
+			if a.job != nil {
+				a.job.Cancel()
+			}
+			am.app.Release(a.c)
+		}
+		delete(am.attempts, id)
 	}
 	am.provWorkflowEnd(err == nil)
 	am.app.Finish()
@@ -529,11 +1080,11 @@ func (am *AM) provWorkflowEnd(ok bool) {
 	_ = am.env.Prov.RecordWorkflowEnd(am.cfg.WorkflowID, am.driver.Name(), now, now-am.start, ok)
 }
 
-func (am *AM) provTaskStart(t *wf.Task, node string) {
+func (am *AM) provTaskStart(t *wf.Task, node string, attempt int) {
 	if am.env.Prov == nil {
 		return
 	}
-	_ = am.env.Prov.RecordTaskStart(am.cfg.WorkflowID, am.driver.Name(), t, node, am.env.Cluster.Engine.Now())
+	_ = am.env.Prov.RecordTaskStart(am.cfg.WorkflowID, am.driver.Name(), t, node, attempt, am.env.Cluster.Engine.Now())
 }
 
 func (am *AM) provTaskEnd(res *wf.TaskResult) {

@@ -499,3 +499,64 @@ func TestAMOnPinnedNode(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRetryExhaustionRecordsEveryAttempt is the regression test for the
+// fault-tolerance accounting: a task that fails on every node must fail
+// the workflow with a clear error, and provenance must carry a start/end
+// pair for every individual failed attempt — distinct IDs, distinct
+// attempt indices — so post-mortems can see the whole retry history.
+func TestRetryExhaustionRecordsEveryAttempt(t *testing.T) {
+	env := newEnv(t, 2, spec(), 1000)
+	env.FS.Put("/in/seed", 1, "")
+	cfg := Config{
+		MaxRetries:    2,
+		FaultInjector: func(task *wf.Task, node string, attempt int) bool { return task.Name == "work" },
+	}
+	rep, err := Run(env.Env, chainDriver(t, 1), scheduler.NewFCFS(), cfg)
+	if err == nil || rep.Succeeded {
+		t.Fatalf("workflow should fail: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "failed 3 times") {
+		t.Fatalf("error should name the attempt count, got: %v", err)
+	}
+
+	events, _ := env.Prov.Store().Events()
+	starts, ends := 0, 0
+	ids := map[string]bool{}
+	attempts := map[int]bool{}
+	for _, ev := range events {
+		if ev.Signature != "work" {
+			continue
+		}
+		switch ev.Type {
+		case provenance.TaskStart:
+			starts++
+		case provenance.TaskEnd:
+			ends++
+			if ev.ExitCode == 0 {
+				t.Fatalf("failed attempt recorded as success: %+v", ev)
+			}
+			if ev.Error == "" {
+				t.Fatalf("failed attempt recorded without error: %+v", ev)
+			}
+			if ids[ev.ID] {
+				t.Fatalf("duplicate provenance ID %s across attempts", ev.ID)
+			}
+			ids[ev.ID] = true
+			attempts[ev.Attempt] = true
+		}
+	}
+	if starts != 3 || ends != 3 {
+		t.Fatalf("starts=%d ends=%d, want 3/3 (initial + 2 retries)", starts, ends)
+	}
+	for i := 0; i < 3; i++ {
+		if !attempts[i] {
+			t.Fatalf("attempt index %d missing from provenance (got %v)", i, attempts)
+		}
+	}
+	// The workflow-end event records the failure.
+	last := events[len(events)-1]
+	if last.Type != provenance.WorkflowEnd || last.Succeeded {
+		t.Fatalf("last event = %+v, want failed workflow-end", last)
+	}
+}

@@ -106,9 +106,13 @@ func (r *Report) Summary() string {
 	for _, s := range sigs {
 		parts = append(parts, fmt.Sprintf("%s×%d", s, bySig[s]))
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"workflow %s (%s scheduler) %s in %.1fs: %d tasks [%s], %d containers, %d retries; task time split: stage-in %.1fs, execute %.1fs, stage-out %.1fs",
 		r.WorkflowName, r.Scheduler, status, r.MakespanSec,
 		len(r.Results), strings.Join(parts, " "), r.Containers, r.Retries,
 		stageIn, exec, stageOut)
+	if r.Recovered > 0 || r.TimedOut > 0 || r.Speculative > 0 {
+		s += fmt.Sprintf("; fault tolerance: %d recovered, %d timed out, %d speculative", r.Recovered, r.TimedOut, r.Speculative)
+	}
+	return s
 }

@@ -1,0 +1,232 @@
+package e2e
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"hiway/internal/chaos"
+	"hiway/internal/core"
+	"hiway/internal/provdb"
+	"hiway/internal/provenance"
+	"hiway/internal/scheduler"
+	"hiway/internal/wf"
+	"hiway/internal/workloads"
+)
+
+func snvWorkload() (wf.Driver, []workloads.Input) {
+	return workloads.SNV(workloads.SNVConfig{
+		Samples: 2, FilesPerSample: 3, FileSizeMB: 32,
+		AlignCPUSeconds: 30, SortCPUSeconds: 15, CallCPUSeconds: 30, AnnotateCPUSeconds: 10,
+		RefLocal: true,
+	})
+}
+
+// TestAMCrashResumeFromProvenance is the acceptance test for AM recovery:
+// the AM dies mid-workflow with a durable provdb-backed provenance store;
+// a new AM incarnation resumes against the reopened store on the same
+// (surviving) cluster. Completed tasks must be reconstructed — not re-run,
+// which provenance event counts prove — and the final outputs must match
+// an uninterrupted reference run.
+func TestAMCrashResumeFromProvenance(t *testing.T) {
+	// Reference run: the same workflow without a crash.
+	refDriver, inputs := snvWorkload()
+	_, refEnv := newEnv(t, 4, nil, inputs)
+	refRep, err := core.Run(refEnv, refDriver, scheduler.NewFCFS(), core.Config{ContainerVCores: 2, ContainerMemMB: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalTasks := len(refRep.Results)
+
+	// Crash run: provenance goes to the embedded database, as a real
+	// deployment would survive an AM process death.
+	path := filepath.Join(t.TempDir(), "prov.db")
+	db, err := provdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewDBStore(db)
+	driver1, inputs := snvWorkload()
+	eng, env := newEnv(t, 4, store, inputs)
+	cfg := core.Config{WorkflowID: "snv-resume", ContainerVCores: 2, ContainerMemMB: 4096}
+	am, err := core.Launch(env, driver1, scheduler.NewFCFS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := 5.0; am.CompletedTasks() < 2 && !am.Finished(); ts += 5 {
+		eng.RunUntil(ts)
+	}
+	if am.Finished() {
+		t.Fatal("workflow finished before the crash could be injected")
+	}
+	completedAtCrash := am.CompletedTasks()
+	am.Kill()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New AM incarnation: reopen the database; cluster and HDFS survive.
+	db2, err := provdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2 := provenance.NewDBStore(db2)
+	defer store2.Close()
+	mgr, err := provenance.NewManager(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Prov = mgr
+	driver2, _ := snvWorkload()
+	am2, err := core.Resume(env, driver2, scheduler.NewFCFS(), cfg, store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	rep, err := am2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded {
+		t.Fatal(rep.Err)
+	}
+	if rep.Recovered != completedAtCrash {
+		t.Fatalf("recovered %d tasks, %d had completed at the crash", rep.Recovered, completedAtCrash)
+	}
+	if rep.Recovered+len(rep.Results) != totalTasks {
+		t.Fatalf("recovered %d + executed %d != %d total tasks", rep.Recovered, len(rep.Results), totalTasks)
+	}
+
+	// No completed task re-executed: across both incarnations every task
+	// succeeded exactly once.
+	events, err := store2.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	successes, resumes := 0, 0
+	for _, ev := range events {
+		if ev.Type == provenance.TaskEnd && ev.ExitCode == 0 && ev.Error == "" {
+			successes++
+		}
+		if ev.Type == provenance.WorkflowResumed {
+			resumes++
+			if ev.Recovered != completedAtCrash {
+				t.Fatalf("resume event recovered=%d, want %d", ev.Recovered, completedAtCrash)
+			}
+		}
+	}
+	if successes != totalTasks {
+		t.Fatalf("%d successful task-end events across both incarnations, want %d (no re-execution)", successes, totalTasks)
+	}
+	if resumes != 1 {
+		t.Fatalf("workflow-resumed events = %d, want 1", resumes)
+	}
+
+	// Identical, readable outputs.
+	got := append([]string(nil), rep.Outputs...)
+	want := append([]string(nil), refRep.Outputs...)
+	sort.Strings(got)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("outputs after resume = %v, reference = %v", got, want)
+	}
+	for _, out := range got {
+		if !env.FS.Readable(out) {
+			t.Fatalf("output %s not readable after resume", out)
+		}
+	}
+}
+
+// TestChaosHangSpeculation hangs a task's first attempt forever; the
+// deadline must fire, a speculative duplicate must win on another node, and
+// the hung loser's container must be released — no leaked capacity.
+func TestChaosHangSpeculation(t *testing.T) {
+	driver, inputs := snvWorkload()
+	plan := chaos.NewPlan(11)
+	plan.AddRule(chaos.TaskRule{Signature: "bowtie2", Attempt: 0, Count: 1, Fate: chaos.FateHang})
+	_, env := newEnv(t, 4, provenance.NewMemStore(), inputs)
+	cfg := core.Config{
+		ContainerVCores: 2, ContainerMemMB: 4096,
+		Chaos:               plan,
+		TaskTimeoutFloorSec: 60,
+		Speculate:           true,
+	}
+	rep, err := core.Run(env, driver, scheduler.NewFCFS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded {
+		t.Fatal(rep.Err)
+	}
+	if rep.TimedOut < 1 {
+		t.Fatalf("timed out attempts = %d, want >= 1", rep.TimedOut)
+	}
+	if rep.Speculative < 1 {
+		t.Fatalf("speculative attempts = %d, want >= 1", rep.Speculative)
+	}
+	if rep.Retries != 0 {
+		t.Fatalf("retries = %d; speculation must not count as retry", rep.Retries)
+	}
+	if n := env.RM.RunningContainers(); n != 0 {
+		t.Fatalf("%d containers still allocated after the workflow finished (leak)", n)
+	}
+	// The losing (hung) attempt is visible in provenance as a killed one.
+	events, _ := env.Prov.Store().Events()
+	killed := 0
+	for _, ev := range events {
+		if ev.Type == provenance.TaskEnd && ev.ExitCode == 137 {
+			killed++
+		}
+	}
+	if killed < 1 {
+		t.Fatal("hung loser attempt left no provenance record")
+	}
+}
+
+// TestChaosDeterminism runs the same workflow twice under the same chaos
+// plan and seed; the provenance event sequences must be identical (compared
+// without process-global task IDs, which differ between instantiations).
+func TestChaosDeterminism(t *testing.T) {
+	run := func() []string {
+		driver, inputs := snvWorkload()
+		plan, err := chaos.Parse("crashrate=0.2;readerr=0.05;slow=node-02@20:2", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, env := newEnv(t, 4, provenance.NewMemStore(), inputs)
+		plan.Arm(eng, env.RM, env.FS, env.Cluster)
+		am, err := core.Launch(env, driver, scheduler.NewFCFS(), core.Config{
+			ContainerVCores: 2, ContainerMemMB: 4096,
+			Chaos: plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if !am.Finished() {
+			t.Fatal("workflow did not terminate under chaos")
+		}
+		events, _ := env.Prov.Store().Events()
+		var seq []string
+		for _, ev := range events {
+			// Normalize: drop IDs (task counters are process-global).
+			seq = append(seq, fmt.Sprintf("%s|%s|%s|a%d|%d|%s|%.6f|%.6f",
+				ev.Type, ev.Signature, ev.Node, ev.Attempt, ev.ExitCode, ev.Error, ev.Timestamp, ev.DurationSec))
+		}
+		return seq
+	}
+	first := run()
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("event counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("event %d differs:\n  run1: %s\n  run2: %s", i, first[i], second[i])
+		}
+	}
+	if len(first) < 4 {
+		t.Fatalf("suspiciously few events: %d", len(first))
+	}
+}

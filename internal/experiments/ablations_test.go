@@ -85,3 +85,31 @@ func TestContainerSizingAblation(t *testing.T) {
 		t.Fatalf("tailored %0.1f min should beat uniform %0.1f min", res.TailoredMin, res.UniformMin)
 	}
 }
+
+func TestFaultToleranceAblation(t *testing.T) {
+	rows, err := FaultToleranceAblation(2, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // 3 policies x 3 rates x 2 speculation modes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Failed == 2 {
+			t.Fatalf("every run failed in cell %+v", r)
+		}
+		if r.CrashRate == 0 {
+			if r.Retries != 0 || r.TimedOut != 0 || r.Speculative != 0 {
+				t.Fatalf("fault accounting nonzero without faults: %+v", r)
+			}
+			base[r.Policy] = r.MedianSec
+		}
+	}
+	for _, r := range rows {
+		if r.CrashRate == 0.25 && r.Failed == 0 && r.MedianSec <= base[r.Policy] {
+			t.Fatalf("faults at rate 0.25 did not cost makespan for %s: %.1f <= %.1f",
+				r.Policy, r.MedianSec, base[r.Policy])
+		}
+	}
+}

@@ -58,6 +58,11 @@ type FS struct {
 	files    map[string]*File
 	dead     map[string]bool // decommissioned/crashed nodes
 	excluded map[string]bool // non-datanode (master) nodes
+
+	// readFault, when set, is consulted before each Read; a non-nil error
+	// fails that read as a transient I/O error (the chaos harness's model
+	// of flaky datanode reads). The caller is expected to retry.
+	readFault func(nodeID string, paths []string) error
 }
 
 // New creates an empty filesystem over the cluster. The seed makes replica
@@ -429,10 +434,23 @@ func (fs *FS) Plan(paths []string, nodeID string) ReadPlan {
 	return plan
 }
 
+// SetReadFault installs (or clears, with nil) a hook consulted at the start
+// of every Read. A non-nil return fails the read with that error after an
+// instant, modeling transient datanode flakiness for fault injection.
+func (fs *FS) SetReadFault(hook func(nodeID string, paths []string) error) {
+	fs.readFault = hook
+}
+
 // Read simulates reading the file set onto the node: local bytes via the
 // node's disk, remote bytes via the switch from replica holders, external
 // bytes via the NIC. done(err) fires once everything has arrived.
 func (fs *FS) Read(nodeID string, paths []string, done func(error)) {
+	if fs.readFault != nil {
+		if err := fs.readFault(nodeID, paths); err != nil {
+			fs.cluster.Engine.Schedule(0, func() { done(err) })
+			return
+		}
+	}
 	node := fs.cluster.Node(nodeID)
 	if node == nil {
 		fs.cluster.Engine.Schedule(0, func() { done(fmt.Errorf("hdfs: unknown node %q", nodeID)) })

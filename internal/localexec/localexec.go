@@ -216,8 +216,10 @@ func (r *runner) execute(t *wf.Task) *wf.TaskResult {
 		}
 		defer cancel()
 		cmd := exec.CommandContext(ctx, r.cfg.Shell, "-c", t.Command)
-		// A killed shell may leave children holding the output pipes;
-		// don't let Wait block on them past the timeout.
+		// Kill the whole process group on timeout so background
+		// grandchildren die with the shell; WaitDelay is the backstop for
+		// anything that still holds the output pipes.
+		setupProcessGroup(cmd)
 		cmd.WaitDelay = time.Second
 		cmd.Dir = r.dataDir
 		cmd.Env = os.Environ()

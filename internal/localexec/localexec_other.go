@@ -1,0 +1,9 @@
+//go:build !unix
+
+package localexec
+
+import "os/exec"
+
+// setupProcessGroup is a no-op on platforms without POSIX process groups;
+// exec.CommandContext's default cancel (kill the direct child) applies.
+func setupProcessGroup(cmd *exec.Cmd) {}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package localexec
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setupProcessGroup puts the task's shell into its own process group and
+// kills the whole group on timeout. Without this, only the shell receives
+// the kill and background grandchildren (e.g. `tool &` inside a task
+// command) keep running — and keep the output pipes open — after the task
+// is reported dead.
+func setupProcessGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.Cancel = func() error {
+		// Negative pid addresses the process group. The group leader is
+		// the shell itself because of Setpgid.
+		return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	}
+}

@@ -28,6 +28,9 @@ const (
 	WorkflowEnd   EventType = "workflow-end"
 	TaskStart     EventType = "task-start"
 	TaskEnd       EventType = "task-end"
+	// WorkflowResumed marks an AM recovering a workflow from this store's
+	// own provenance: completed tasks were reconstructed rather than re-run.
+	WorkflowResumed EventType = "workflow-resumed"
 )
 
 // FileEvent records one file consumed or produced by a task, including the
@@ -49,6 +52,7 @@ type Event struct {
 
 	// Task-level fields.
 	TaskID    int64  `json:"taskId,omitempty"`
+	Attempt   int    `json:"attempt,omitempty"`
 	Signature string `json:"signature,omitempty"`
 	Command   string `json:"command,omitempty"`
 	Node      string `json:"node,omitempty"`
@@ -74,17 +78,27 @@ type Event struct {
 
 	// Workflow-end summary.
 	Succeeded bool `json:"succeeded,omitempty"`
+
+	// Workflow-resumed summary: completed tasks recovered from provenance.
+	Recovered int `json:"recovered,omitempty"`
 }
 
-// TaskEndEvent builds the task-end event for a completed task result.
+// TaskEndEvent builds the task-end event for a completed task result. Each
+// attempt of a task yields a distinct event (retries and speculative
+// duplicates suffix the ID), so failed attempts stay visible in the trace.
 func TaskEndEvent(wfID, wfName string, res *wf.TaskResult, inputSizes map[string]float64) Event {
+	id := fmt.Sprintf("%s-task-%d", wfID, res.Task.ID)
+	if res.Attempt > 0 {
+		id = fmt.Sprintf("%s-a%d", id, res.Attempt)
+	}
 	ev := Event{
-		ID:           fmt.Sprintf("%s-task-%d", wfID, res.Task.ID),
+		ID:           id,
 		Type:         TaskEnd,
 		Timestamp:    res.End,
 		WorkflowID:   wfID,
 		WorkflowName: wfName,
 		TaskID:       res.Task.ID,
+		Attempt:      res.Attempt,
 		Signature:    res.Task.Name,
 		Command:      res.Task.Command,
 		Node:         res.Node,

@@ -22,6 +22,7 @@ type Manager struct {
 	store Store
 
 	lastRuntime map[string]map[string]float64 // signature → node → latest duration
+	runtimes    map[string][]float64          // signature → successful durations, in order
 	fileSizes   map[string]float64            // path → size MB
 	transferSec map[string]float64            // path → latest transfer time
 	signatures  map[string]bool
@@ -39,6 +40,7 @@ func NewManager(store Store) (*Manager, error) {
 	m := &Manager{
 		store:       store,
 		lastRuntime: make(map[string]map[string]float64),
+		runtimes:    make(map[string][]float64),
 		fileSizes:   make(map[string]float64),
 		transferSec: make(map[string]float64),
 		signatures:  make(map[string]bool),
@@ -85,13 +87,28 @@ func (m *Manager) RecordWorkflowEnd(wfID, wfName string, at, makespan float64, o
 	})
 }
 
-// RecordTaskStart emits a task-start event.
-func (m *Manager) RecordTaskStart(wfID, wfName string, t *wf.Task, node string, at float64) error {
+// RecordTaskStart emits a task-start event for one attempt of a task.
+// Retries and speculative duplicates pass attempt > 0 and get distinct IDs.
+func (m *Manager) RecordTaskStart(wfID, wfName string, t *wf.Task, node string, attempt int, at float64) error {
+	id := fmt.Sprintf("%s-task-%d-start", wfID, t.ID)
+	if attempt > 0 {
+		id = fmt.Sprintf("%s-a%d", id, attempt)
+	}
 	return m.Record(Event{
-		ID:   fmt.Sprintf("%s-task-%d-start", wfID, t.ID),
+		ID:   id,
 		Type: TaskStart, Timestamp: at,
 		WorkflowID: wfID, WorkflowName: wfName,
-		TaskID: t.ID, Signature: t.Name, Command: t.Command, Node: node,
+		TaskID: t.ID, Attempt: attempt, Signature: t.Name, Command: t.Command, Node: node,
+	})
+}
+
+// RecordWorkflowResume emits a workflow-resumed event: an AM recovered the
+// workflow from this store's provenance, reconstructing recovered completed
+// tasks instead of re-running them.
+func (m *Manager) RecordWorkflowResume(wfID, wfName string, at float64, recovered int) error {
+	return m.Record(Event{
+		ID: fmt.Sprintf("%s-resume-%g", wfID, at), Type: WorkflowResumed, Timestamp: at,
+		WorkflowID: wfID, WorkflowName: wfName, Recovered: recovered,
 	})
 }
 
@@ -118,6 +135,12 @@ func (m *Manager) index(ev Event) {
 				m.lastRuntime[ev.Signature] = byNode
 			}
 			byNode[ev.Node] = ev.DurationSec
+		}
+		// Only successful attempts feed the runtime distribution; a crashed
+		// or killed attempt's duration says nothing about how long the task
+		// legitimately takes.
+		if ev.ExitCode == 0 && ev.Error == "" && ev.DurationSec > 0 {
+			m.runtimes[ev.Signature] = append(m.runtimes[ev.Signature], ev.DurationSec)
 		}
 		for _, f := range append(append([]FileEvent{}, ev.Inputs...), ev.Outputs...) {
 			if f.SizeMB > 0 {
@@ -160,6 +183,29 @@ func (m *Manager) MeanRuntime(signature string) (float64, bool) {
 		sum += d
 	}
 	return sum / float64(len(byNode)), true
+}
+
+// RuntimeP95 returns the 95th-percentile duration over all successful
+// observations of signature (any node). The fault-tolerance layer derives
+// attempt deadlines from it: deadline = p95 × slack. ok is false when the
+// signature has never completed successfully.
+func (m *Manager) RuntimeP95(signature string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	obs := m.runtimes[signature]
+	if len(obs) == 0 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), obs...)
+	sort.Float64s(sorted)
+	idx := int(float64(len(sorted))*0.95+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx], true
 }
 
 // ObservedNodes returns the nodes that signature has run on, sorted.

@@ -34,7 +34,7 @@ func TestManagerRecordsAndIndexes(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := sampleResult("bowtie2", "node-00", 120)
-	if err := m.RecordTaskStart("wf1", "snv", res.Task, "node-00", 100); err != nil {
+	if err := m.RecordTaskStart("wf1", "snv", res.Task, "node-00", 0, 100); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.RecordTaskEnd("wf1", "snv", res, map[string]float64{"in.dat": 5}); err != nil {

@@ -14,6 +14,7 @@ import "hiway/internal/wf"
 // (signature, node), with unobserved pairs treated as zero so that new
 // assignments get explored.
 type AdaptiveGreedy struct {
+	healthGate
 	est   Estimator
 	queue []*wf.Task
 
@@ -50,7 +51,7 @@ func (s *AdaptiveGreedy) Placement(*wf.Task) (string, bool) { return "", false }
 // container is declined (nil) while the decline budget lasts; the AM
 // re-requests a container elsewhere.
 func (s *AdaptiveGreedy) Select(node string) *wf.Task {
-	if len(s.queue) == 0 {
+	if len(s.queue) == 0 || !s.nodeOK(node) {
 		return nil
 	}
 	best := 0

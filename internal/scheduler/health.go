@@ -1,0 +1,116 @@
+package scheduler
+
+import (
+	"sort"
+	"sync"
+)
+
+// NodeHealth answers "should this node receive work right now?". All
+// scheduling policies consult it (when set) before handing a task to an
+// allocated container, so a node that keeps failing or timing out attempts
+// stops attracting work regardless of policy.
+type NodeHealth interface {
+	Healthy(node string) bool
+}
+
+// HealthAware is implemented by schedulers that can consult a NodeHealth.
+// Every policy in this package implements it.
+type HealthAware interface {
+	SetNodeHealth(h NodeHealth)
+}
+
+// NodeHealthTracker is the default NodeHealth: consecutive failures or
+// timeouts on a node blacklist it for a penalty window; each expiry leaves
+// the node on probation, where a single further failure re-blacklists it
+// with a doubled penalty (backoff-style re-admission), and a success fully
+// rehabilitates it. Time is whatever clock the constructor is given — the
+// simulator passes its virtual clock.
+type NodeHealthTracker struct {
+	mu        sync.Mutex
+	now       func() float64
+	threshold int     // consecutive failures that trigger a blacklist
+	baseSec   float64 // first penalty window length
+	nodes     map[string]*nodeState
+}
+
+type nodeState struct {
+	consecutive int
+	penaltySec  float64 // current penalty window; doubles per re-admission failure
+	until       float64 // blacklisted until this time; 0 = not blacklisted
+}
+
+// NewNodeHealthTracker builds a tracker over the given clock. threshold <= 0
+// defaults to 3 consecutive failures; basePenaltySec <= 0 defaults to 60s.
+func NewNodeHealthTracker(now func() float64, threshold int, basePenaltySec float64) *NodeHealthTracker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if basePenaltySec <= 0 {
+		basePenaltySec = 60
+	}
+	return &NodeHealthTracker{
+		now:       now,
+		threshold: threshold,
+		baseSec:   basePenaltySec,
+		nodes:     make(map[string]*nodeState),
+	}
+}
+
+// Healthy implements NodeHealth.
+func (h *NodeHealthTracker) Healthy(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.nodes[node]
+	return st == nil || h.now() >= st.until
+}
+
+// ReportSuccess fully rehabilitates the node: the failure streak, penalty,
+// and probation state are cleared.
+func (h *NodeHealthTracker) ReportSuccess(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.nodes, node)
+}
+
+// ReportFailure records one failed or timed-out attempt on the node. Once
+// the consecutive-failure streak reaches the threshold the node is
+// blacklisted for the penalty window; a failure on probation (after the
+// window expired) re-blacklists immediately with a doubled window.
+func (h *NodeHealthTracker) ReportFailure(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.nodes[node]
+	if st == nil {
+		st = &nodeState{}
+		h.nodes[node] = st
+	}
+	st.consecutive++
+	onProbation := st.penaltySec > 0 && h.now() >= st.until
+	switch {
+	case onProbation:
+		// Re-admission failed: double the penalty, no threshold grace.
+		st.penaltySec *= 2
+		st.until = h.now() + st.penaltySec
+		st.consecutive = 0
+	case st.consecutive >= h.threshold && h.now() >= st.until:
+		if st.penaltySec == 0 {
+			st.penaltySec = h.baseSec
+		}
+		st.until = h.now() + st.penaltySec
+		st.consecutive = 0
+	}
+}
+
+// Blacklisted returns the currently blacklisted nodes, sorted.
+func (h *NodeHealthTracker) Blacklisted() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for n, st := range h.nodes {
+		if h.now() < st.until {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

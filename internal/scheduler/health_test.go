@@ -1,0 +1,135 @@
+package scheduler
+
+import (
+	"testing"
+
+	"hiway/internal/wf"
+)
+
+func TestNodeHealthTrackerBlacklistAndProbation(t *testing.T) {
+	now := 0.0
+	h := NewNodeHealthTracker(func() float64 { return now }, 3, 60)
+
+	if !h.Healthy("n1") {
+		t.Fatal("unknown node must be healthy")
+	}
+	h.ReportFailure("n1")
+	h.ReportFailure("n1")
+	if !h.Healthy("n1") {
+		t.Fatal("two failures are below the threshold")
+	}
+	h.ReportFailure("n1")
+	if h.Healthy("n1") {
+		t.Fatal("third consecutive failure must blacklist")
+	}
+	if bl := h.Blacklisted(); len(bl) != 1 || bl[0] != "n1" {
+		t.Fatalf("Blacklisted = %v", bl)
+	}
+
+	// Penalty window expires: node is re-admitted on probation.
+	now = 61
+	if !h.Healthy("n1") {
+		t.Fatal("node must be re-admitted after the penalty window")
+	}
+	// One failure on probation re-blacklists immediately, doubled window.
+	h.ReportFailure("n1")
+	if h.Healthy("n1") {
+		t.Fatal("probation failure must re-blacklist immediately")
+	}
+	now = 61 + 61 // one base window later: still inside the doubled window
+	if h.Healthy("n1") {
+		t.Fatal("doubled penalty must outlast the base window")
+	}
+	now = 61 + 121
+	if !h.Healthy("n1") {
+		t.Fatal("doubled window expired")
+	}
+
+	// Success on probation fully rehabilitates: three more failures needed.
+	h.ReportSuccess("n1")
+	h.ReportFailure("n1")
+	h.ReportFailure("n1")
+	if !h.Healthy("n1") {
+		t.Fatal("success must reset the failure streak and penalty")
+	}
+}
+
+func TestNodeHealthTrackerSuccessResetsStreak(t *testing.T) {
+	now := 0.0
+	h := NewNodeHealthTracker(func() float64 { return now }, 3, 60)
+	h.ReportFailure("n1")
+	h.ReportFailure("n1")
+	h.ReportSuccess("n1")
+	h.ReportFailure("n1")
+	h.ReportFailure("n1")
+	if !h.Healthy("n1") {
+		t.Fatal("streak interrupted by success must not blacklist")
+	}
+}
+
+func TestSchedulersDeclineBlacklistedNodes(t *testing.T) {
+	now := 0.0
+	h := NewNodeHealthTracker(func() float64 { return now }, 1, 60)
+	h.ReportFailure("bad")
+
+	task := wf.NewTask("tool", nil, []wf.FileInfo{{Path: "o", SizeMB: 1}})
+
+	for _, s := range []Scheduler{NewFCFS(), NewDataAware(fracOracle{}), NewAdaptiveGreedy(zeroEstimator{})} {
+		ha, ok := s.(HealthAware)
+		if !ok {
+			t.Fatalf("%s does not implement HealthAware", s.Name())
+		}
+		ha.SetNodeHealth(h)
+		s.OnTaskReady(task)
+		if got := s.Select("bad"); got != nil {
+			t.Fatalf("%s handed a task to a blacklisted node", s.Name())
+		}
+		if got := s.Select("good"); got != task {
+			t.Fatalf("%s withheld a task from a healthy node", s.Name())
+		}
+	}
+}
+
+func TestStaticSelectDeclinesBlacklistedAndReassignMovesQueued(t *testing.T) {
+	now := 0.0
+	h := NewNodeHealthTracker(func() float64 { return now }, 1, 60)
+
+	a := wf.NewTask("a", nil, []wf.FileInfo{{Path: "a.out", SizeMB: 1}})
+	b := wf.NewTask("b", []string{"a.out"}, []wf.FileInfo{{Path: "b.out", SizeMB: 1}})
+	dag, err := wf.NewDAG([]*wf.Task{a, b}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewRoundRobin()
+	if err := s.Plan(dag, []NodeInfo{{ID: "n1"}, {ID: "n2"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetNodeHealth(h)
+	s.OnTaskReady(a) // planned on n1
+
+	h.ReportFailure("n1")
+	if got := s.Select("n1"); got != nil {
+		t.Fatal("static Select handed a task to a blacklisted node")
+	}
+	// Reassign moves the already-queued task to the new node's list.
+	s.Reassign(a, "n2")
+	if got := s.Select("n1"); got != nil {
+		t.Fatal("task still queued under old node after Reassign")
+	}
+	if got := s.Select("n2"); got != a {
+		t.Fatalf("Select(n2) = %v, want task a", got)
+	}
+	if s.Queued() != 0 {
+		t.Fatalf("Queued = %d, want 0", s.Queued())
+	}
+}
+
+type fracOracle struct{}
+
+func (fracOracle) LocalFraction(paths []string, nodeID string) float64 { return 0 }
+
+type zeroEstimator struct{}
+
+func (zeroEstimator) LastRuntime(sig, node string) (float64, bool) { return 0, false }
+func (zeroEstimator) MeanRuntime(sig string) (float64, bool)       { return 0, false }

@@ -115,8 +115,23 @@ func New(policy string, deps Deps) (Scheduler, error) {
 	}
 }
 
+// healthGate is the shared NodeHealth hook: a nil health means every node
+// qualifies. Embedding it makes a policy HealthAware.
+type healthGate struct {
+	health NodeHealth
+}
+
+// SetNodeHealth implements HealthAware.
+func (g *healthGate) SetNodeHealth(h NodeHealth) { g.health = h }
+
+// nodeOK reports whether the node may receive work.
+func (g *healthGate) nodeOK(node string) bool {
+	return g.health == nil || g.health.Healthy(node)
+}
+
 // FCFS runs tasks in arrival order on whatever container comes up first.
 type FCFS struct {
+	healthGate
 	queue []*wf.Task
 }
 
@@ -132,9 +147,10 @@ func (s *FCFS) OnTaskReady(t *wf.Task) { s.queue = append(s.queue, t) }
 // Placement implements Scheduler: FCFS expresses no preference.
 func (s *FCFS) Placement(*wf.Task) (string, bool) { return "", false }
 
-// Select implements Scheduler: pop the head of the queue.
-func (s *FCFS) Select(string) *wf.Task {
-	if len(s.queue) == 0 {
+// Select implements Scheduler: pop the head of the queue. Containers on
+// blacklisted nodes are declined (nil) so the AM re-requests elsewhere.
+func (s *FCFS) Select(node string) *wf.Task {
+	if len(s.queue) == 0 || !s.nodeOK(node) {
 		return nil
 	}
 	t := s.queue[0]
@@ -150,6 +166,7 @@ func (s *FCFS) Queued() int { return len(s.queue) }
 // with the highest fraction of input data locally available (in HDFS) on
 // the hosting node. Ties fall back to arrival order.
 type DataAware struct {
+	healthGate
 	locality LocalityOracle
 	queue    []*wf.Task
 }
@@ -171,7 +188,7 @@ func (s *DataAware) Placement(*wf.Task) (string, bool) { return "", false }
 
 // Select implements Scheduler.
 func (s *DataAware) Select(node string) *wf.Task {
-	if len(s.queue) == 0 {
+	if len(s.queue) == 0 || !s.nodeOK(node) {
 		return nil
 	}
 	best, bestFrac := 0, -1.0

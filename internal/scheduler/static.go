@@ -13,6 +13,7 @@ import (
 // task→node assignment computed by Plan, per-node FIFO queues of ready
 // tasks, and strict container placement.
 type staticBase struct {
+	healthGate
 	policy     string
 	assignment map[int64]string // task ID → node
 	order      map[int64]int    // task ID → dispatch priority (lower first)
@@ -45,7 +46,7 @@ func (s *staticBase) Placement(t *wf.Task) (string, bool) {
 // Select implements Scheduler: only tasks planned for this node qualify.
 func (s *staticBase) Select(node string) *wf.Task {
 	q := s.ready[node]
-	if len(q) == 0 {
+	if len(q) == 0 || !s.nodeOK(node) {
 		return nil
 	}
 	t := q[0]
@@ -58,9 +59,25 @@ func (s *staticBase) Select(node string) *wf.Task {
 func (s *staticBase) Queued() int { return s.queued }
 
 // Reassign re-pins a task to a different node — used by the AM when a task
-// failed on its planned node and must be retried elsewhere (§3.1).
+// failed on its planned node and must be retried elsewhere (§3.1), and when
+// a pinned node dies with the task still queued. A queued task moves to the
+// new node's ready list so it cannot starve under a dead node.
 func (s *staticBase) Reassign(t *wf.Task, node string) {
+	old, ok := s.assignment[t.ID]
 	s.assignment[t.ID] = node
+	if !ok || old == node {
+		return
+	}
+	q := s.ready[old]
+	for i, qt := range q {
+		if qt.ID == t.ID {
+			s.ready[old] = append(q[:i:i], q[i+1:]...)
+			nq := append(s.ready[node], t)
+			sort.SliceStable(nq, func(a, b int) bool { return s.order[nq[a].ID] < s.order[nq[b].ID] })
+			s.ready[node] = nq
+			break
+		}
+	}
 }
 
 func (s *staticBase) init(policy string) {

@@ -25,6 +25,20 @@ type Job struct {
 // Rate returns the job's currently allocated rate in resource units/sec.
 func (j *Job) Rate() float64 { return j.rate }
 
+// Cancel withdraws the job from its resource without invoking its done
+// callback. Canceling a finished or already-canceled job is a no-op. This is
+// what makes task attempts killable: a timed-out or superseded attempt's
+// compute job is withdrawn so it stops contending for capacity.
+func (j *Job) Cancel() {
+	if j == nil || j.res == nil {
+		return
+	}
+	j.res.Remove(j)
+}
+
+// Active reports whether the job is still submitted to its resource.
+func (j *Job) Active() bool { return j != nil && j.active }
+
 // Remaining returns the job's remaining work in resource units.
 func (j *Job) Remaining() float64 { return j.remaining }
 

@@ -156,6 +156,12 @@ type TaskResult struct {
 	Task *Task
 	Node string
 
+	// Attempt is the zero-based retry index of the execution that produced
+	// this result; Speculative marks results from a speculative duplicate
+	// launched by the fault-tolerance layer.
+	Attempt     int
+	Speculative bool
+
 	Start, End  float64 // virtual (or wall-clock) seconds
 	StageInSec  float64
 	ExecSec     float64

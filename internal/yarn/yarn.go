@@ -55,6 +55,12 @@ type Request struct {
 	// hint is best-effort and any node may be chosen (relaxed locality).
 	NodeHint string
 	Strict   bool
+	// OnUnplaceable fires (once, asynchronously) when a strict request's
+	// pinned node dies while the request is still pending: the request is
+	// withdrawn and the owner decides where to go next (typically re-plan
+	// and re-request). Without it, the dead-pinned request is relaxed to
+	// run anywhere rather than silently starving.
+	OnUnplaceable func(req Request)
 }
 
 // Config tunes the ResourceManager.
@@ -352,8 +358,9 @@ func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Res
 }
 
 // KillNode fails a node: running containers are lost (OnLost fires), no new
-// containers are placed there, and strict requests for it will wait
-// indefinitely unless re-requested elsewhere.
+// containers are placed there, and pending strict requests pinned to it are
+// re-routed — withdrawn through their OnUnplaceable callback when set,
+// relaxed to run anywhere otherwise — so they cannot silently starve.
 func (rm *ResourceManager) KillNode(nodeID string) {
 	nm := rm.nms[nodeID]
 	if nm == nil || nm.dead {
@@ -375,7 +382,35 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 			rm.eng.Schedule(0, cb)
 		}
 	}
+	// Re-route pending strict requests pinned to the dead node.
+	kept := rm.pending[:0]
+	for _, p := range rm.pending {
+		if !p.req.Strict || p.req.NodeHint != nodeID {
+			kept = append(kept, p)
+			continue
+		}
+		if cb := p.req.OnUnplaceable; cb != nil {
+			req := p.req
+			rm.eng.Schedule(0, func() { cb(req) })
+			continue // withdrawn; the owner re-requests
+		}
+		p.req.Strict = false
+		p.req.NodeHint = ""
+		kept = append(kept, p)
+	}
+	rm.pending = kept
 	rm.kick()
+}
+
+// RunningContainers returns the number of live (allocated, unreleased)
+// containers across all nodes, including AM containers — the quantity leak
+// tests assert returns to zero after workflows finish.
+func (rm *ResourceManager) RunningContainers() int {
+	n := 0
+	for _, id := range rm.order {
+		n += len(rm.nms[id].running)
+	}
+	return n
 }
 
 // FreeCapacity returns the free cores and memory on a node (0,0 if dead or

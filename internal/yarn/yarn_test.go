@@ -345,3 +345,111 @@ func TestRequestFromAllocationCallback(t *testing.T) {
 		t.Fatalf("chained allocations = %d, want 3", chain)
 	}
 }
+
+func TestKillNodeRelaxesPendingStrictRequests(t *testing.T) {
+	// A strict request pinned to a node that dies while the request is
+	// pending must not starve: without OnUnplaceable it is relaxed and
+	// placed on a surviving node.
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	var filler *Container
+	app.Request(Request{Resource: Resource{VCores: 4, MemMB: 4096}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { filler = c })
+	eng.RunUntil(5)
+	if filler == nil {
+		t.Fatal("filler not allocated")
+	}
+	var got *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { got = c })
+	eng.RunUntil(10)
+	if got != nil {
+		t.Fatalf("strict request satisfied early on %s", got.NodeID)
+	}
+	rm.KillNode("node-01")
+	eng.Run()
+	if got == nil {
+		t.Fatal("strict request starved after its pinned node died")
+	}
+	if got.NodeID != "node-00" {
+		t.Fatalf("relaxed request landed on %s, want surviving node-00", got.NodeID)
+	}
+}
+
+func TestKillNodeWithdrawsStrictRequestsViaOnUnplaceable(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	var filler *Container
+	app.Request(Request{Resource: Resource{VCores: 4, MemMB: 4096}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { filler = c })
+	eng.RunUntil(5)
+	if filler == nil {
+		t.Fatal("filler not allocated")
+	}
+	allocated := false
+	var withdrawn []Request
+	app.Request(Request{
+		Resource: Resource{VCores: 1, MemMB: 512}, NodeHint: "node-01", Strict: true,
+		OnUnplaceable: func(req Request) { withdrawn = append(withdrawn, req) },
+	}, func(*Container) { allocated = true })
+	eng.RunUntil(10)
+	rm.KillNode("node-01")
+	eng.Run()
+	if allocated {
+		t.Fatal("withdrawn request must not allocate")
+	}
+	if len(withdrawn) != 1 {
+		t.Fatalf("OnUnplaceable fired %d times, want 1", len(withdrawn))
+	}
+	if withdrawn[0].NodeHint != "node-01" || !withdrawn[0].Strict {
+		t.Fatalf("withdrawn request = %+v", withdrawn[0])
+	}
+	if app.PendingRequests() != 0 {
+		t.Fatalf("pending = %d, want 0 after withdrawal", app.PendingRequests())
+	}
+}
+
+func TestKillNodeLeavesOtherStrictRequestsPinned(t *testing.T) {
+	// Strict requests pinned to a *surviving* node keep their pin when an
+	// unrelated node dies.
+	eng, rm := newRM(t, 3, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	var filler *Container
+	app.Request(Request{Resource: Resource{VCores: 4, MemMB: 4096}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { filler = c })
+	eng.RunUntil(5)
+	var got *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}, NodeHint: "node-01", Strict: true},
+		func(c *Container) { got = c })
+	eng.RunUntil(10)
+	rm.KillNode("node-02")
+	eng.RunUntil(20)
+	if got != nil {
+		t.Fatalf("strict pin to node-01 violated: landed on %s", got.NodeID)
+	}
+	app.Release(filler)
+	eng.Run()
+	if got == nil || got.NodeID != "node-01" {
+		t.Fatalf("strict request not satisfied on its pinned node: %+v", got)
+	}
+}
+
+func TestRunningContainersAccounting(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{})
+	app, _ := rm.SubmitApplication("wf", "node-00")
+	if rm.RunningContainers() != 1 { // the AM
+		t.Fatalf("RunningContainers = %d, want 1", rm.RunningContainers())
+	}
+	var c *Container
+	app.Request(Request{Resource: Resource{VCores: 1, MemMB: 512}}, func(x *Container) { c = x })
+	eng.Run()
+	if rm.RunningContainers() != 2 {
+		t.Fatalf("RunningContainers = %d, want 2", rm.RunningContainers())
+	}
+	app.Release(c)
+	app.Finish()
+	eng.Run()
+	if rm.RunningContainers() != 0 {
+		t.Fatalf("RunningContainers = %d, want 0 after finish", rm.RunningContainers())
+	}
+}
