@@ -5,6 +5,7 @@
 package hiway_test
 
 import (
+	"os"
 	"testing"
 
 	"hiway/internal/experiments"
@@ -178,5 +179,26 @@ func BenchmarkAblationFaultTolerance(b *testing.B) {
 				b.ReportMetric(r.MedianSec, "fcfs-r25-"+mode+"-s")
 			}
 		}
+	}
+}
+
+// BenchmarkScale runs the scale-out harness — synthetic layered workflows
+// of up to ~10k tasks on clusters of up to 256 nodes (set HIWAY_SCALE_FULL=1
+// for the full ladder) — and writes the measurements to BENCH_scale.json.
+// It measures the simulator itself: events/sec and allocations are the
+// kernel's own hot-path cost, not modeled hardware time.
+func BenchmarkScale(b *testing.B) {
+	full := os.Getenv("HIWAY_SCALE_FULL") != ""
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ScaleSweep(experiments.ScaleSweepConfigs(full))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_scale.json", res.JSON(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.EventsPerSec, "events/s")
+		b.ReportMetric(last.WallSec, "wall-s")
 	}
 }

@@ -10,6 +10,7 @@
 //	hiway sim   -w wf.cf [-nodes N] [-policy fcfs|dataaware|roundrobin|heft]
 //	            [-input path=sizeMB ...] [-bind name=path] [-trace out.jsonl]
 //	            [-chaos SPEC] [-chaos-seed N] [-timeout-floor SEC] [-speculate]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The language is detected from the file extension (.cf/.cuneiform, .dax/
 // .xml, .ga [Galaxy JSON], .jsonl/.trace) and can be forced with -lang.
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -77,6 +80,7 @@ func usage() {
   hiway sim -w WORKFLOW [-nodes N] [-policy P] [-lang L]
             [-input path=sizeMB ...] [-bind name=path ...] [-trace FILE]
             [-gantt] [-timeline FILE.csv]
+            [-cpuprofile FILE] [-memprofile FILE]
       run the workflow on a simulated YARN cluster
 
   hiway inspect -w WORKFLOW [-lang L] [-bind name=path ...]
@@ -200,6 +204,8 @@ func runSim(args []string) error {
 	timeoutFloor := fs.Float64("timeout-floor", 0, "attempt timeout floor in seconds (0 disables timeouts)")
 	timeoutSlack := fs.Float64("timeout-slack", 3, "deadline = max(floor, p95 runtime x slack)")
 	speculate := fs.Bool("speculate", false, "race timed-out attempts against a duplicate on another node")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	var inputs, binds multiFlag
 	fs.Var(&inputs, "input", "stage an input file: path=sizeMB (repeatable)")
 	fs.Var(&binds, "bind", "bind a Galaxy input: name=path (repeatable)")
@@ -275,9 +281,35 @@ func runSim(args []string) error {
 		cfg.Health = scheduler.NewNodeHealthTracker(eng.Now, 3, 60)
 		fmt.Println("chaos:", plan)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	rep, err := core.Run(env, driver, sched, cfg)
 	if err != nil {
 		return err
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // measure live objects, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("heap profile:", *memProfile)
 	}
 	fmt.Println(rep.Summary())
 	for _, out := range rep.Outputs {

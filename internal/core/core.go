@@ -357,6 +357,9 @@ func Resume(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config, st
 
 	if env.Prov != nil {
 		_ = env.Prov.RecordWorkflowResume(cfg.WorkflowID, driver.Name(), env.Cluster.Engine.Now(), am.recovered)
+		// Resume is a durability boundary like Kill: the resume marker must
+		// be on storage before new attempts start appending.
+		_ = env.Prov.Flush()
 	}
 	if driver.Done() {
 		am.finish(nil)
@@ -493,6 +496,12 @@ func (am *AM) Kill() {
 			am.app.Release(a.c)
 		}
 		delete(am.attempts, id)
+	}
+	// Task-end provenance is committed at each task boundary in the real
+	// system, so it survives an AM crash; flushing the buffered events here
+	// models exactly that durability. No workflow-end event is written.
+	if am.env.Prov != nil {
+		_ = am.env.Prov.Flush()
 	}
 	am.app.Finish()
 }
@@ -1062,6 +1071,11 @@ func (am *AM) finish(err error) {
 		delete(am.attempts, id)
 	}
 	am.provWorkflowEnd(err == nil)
+	// Workflow completion is a durability boundary: hand buffered
+	// provenance to the store before the AM goes away.
+	if am.env.Prov != nil {
+		_ = am.env.Prov.Flush()
+	}
 	am.app.Finish()
 }
 

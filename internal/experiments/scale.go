@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hiway/internal/cluster"
+	"hiway/internal/core"
+	"hiway/internal/hdfs"
+	"hiway/internal/provenance"
+	"hiway/internal/recipes"
+	"hiway/internal/scheduler"
+	"hiway/internal/wf"
+	"hiway/internal/workloads"
+	"hiway/internal/yarn"
+)
+
+// ScaleConfig describes one point of the scale-out harness: a synthetic
+// layered workflow (Layers × Width tasks, each layer consuming the previous
+// one's outputs) executed on a uniform cluster of Nodes workers. It probes
+// the regime of the paper's Fig. 8/9 — thousands of tasks on large clusters —
+// where the simulator's own hot paths, not the modeled hardware, must not
+// become the bottleneck.
+type ScaleConfig struct {
+	Tasks  int    // total task count (rounded down to a multiple of Width)
+	Width  int    // tasks per layer (parallelism); default 64
+	Nodes  int    // worker nodes; default 16
+	Policy string // scheduling policy; default dataaware
+
+	TaskCPUSeconds float64 // per-task compute; default 20
+	FileMB         float64 // per-task output size; default 8
+}
+
+func (c *ScaleConfig) setDefaults() {
+	if c.Width <= 0 {
+		c.Width = 64
+	}
+	if c.Tasks < c.Width {
+		c.Tasks = c.Width
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.Policy == "" {
+		c.Policy = scheduler.PolicyDataAware
+	}
+	if c.TaskCPUSeconds <= 0 {
+		c.TaskCPUSeconds = 20
+	}
+	if c.FileMB <= 0 {
+		c.FileMB = 8
+	}
+}
+
+// ScalePoint is the measurement for one configuration.
+type ScalePoint struct {
+	Tasks  int    `json:"tasks"`
+	Nodes  int    `json:"nodes"`
+	Policy string `json:"policy"`
+
+	MakespanSec  float64 `json:"makespanSec"`  // virtual time
+	WallSec      float64 `json:"wallSec"`      // real time to simulate it
+	Events       int64   `json:"events"`       // engine events executed
+	EventsPerSec float64 `json:"eventsPerSec"` // events / wall second
+	AllocMB      float64 `json:"allocMB"`      // heap allocated during the run
+	Containers   int64   `json:"containers"`
+}
+
+// ScaleResult is the full harness output, serialized to BENCH_scale.json by
+// the scale benchmark and the CI smoke step.
+type ScaleResult struct {
+	Points []ScalePoint `json:"points"`
+}
+
+// syntheticWorkflow builds a layered fan-out workflow: layer 0 reads the
+// staged inputs; each task of layer l consumes the output of the same lane
+// in layer l-1 plus one shuffled neighbor lane, modeling the mix of
+// pipeline-local and cross-lane data dependencies of real workflows.
+func syntheticWorkflow(cfg ScaleConfig) (wf.Driver, []workloads.Input) {
+	layers := cfg.Tasks / cfg.Width
+	inputs := make([]workloads.Input, cfg.Width)
+	initial := make([]string, cfg.Width)
+	for w := 0; w < cfg.Width; w++ {
+		p := fmt.Sprintf("/scale/in/part-%04d", w)
+		inputs[w] = workloads.Input{Path: p, SizeMB: cfg.FileMB}
+		initial[w] = p
+	}
+	build := func() ([]*wf.Task, []string, []wf.Edge, error) {
+		var tasks []*wf.Task
+		out := func(l, w int) string { return fmt.Sprintf("/scale/l%03d/part-%04d", l, w) }
+		for l := 0; l < layers; l++ {
+			for w := 0; w < cfg.Width; w++ {
+				var ins []string
+				if l == 0 {
+					ins = []string{initial[w]}
+				} else {
+					ins = []string{out(l-1, w), out(l-1, (w*7+l)%cfg.Width)}
+				}
+				p := out(l, w)
+				tasks = append(tasks, &wf.Task{
+					ID:           wf.NextID(),
+					Name:         fmt.Sprintf("stage-%03d", l),
+					Command:      fmt.Sprintf("synth stage %d lane %d", l, w),
+					Inputs:       ins,
+					OutputParams: []string{"out"},
+					Declared:     map[string][]wf.FileInfo{"out": {{Path: p, SizeMB: cfg.FileMB}}},
+					CPUSeconds:   cfg.TaskCPUSeconds,
+					Threads:      1,
+					MemMB:        512,
+				})
+			}
+		}
+		return tasks, initial, nil, nil
+	}
+	return &wf.StaticBase{WFName: fmt.Sprintf("scale-%dx%d", layers, cfg.Width), Build: build}, inputs
+}
+
+// Scale executes one configuration and measures the simulator itself:
+// virtual makespan, wall time, events/sec, and heap allocations.
+func Scale(cfg ScaleConfig) (ScalePoint, error) {
+	cfg.setDefaults()
+	driver, inputs := syntheticWorkflow(cfg)
+	r := &recipes.Recipe{
+		Name:       "scale",
+		Groups:     []recipes.NodeGroup{{Count: cfg.Nodes, Spec: cluster.C32XLarge()}},
+		SwitchMBps: 40 * float64(cfg.Nodes),
+		HDFS:       hdfs.Config{BlockSizeMB: 64, Replication: 3},
+		YARN:       yarn.Config{},
+		Seed:       1,
+		Inputs:     inputs,
+	}
+	e, err := buildEnv(r, provenance.NewMemStore())
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	sched, err := scheduler.New(cfg.Policy, scheduler.Deps{Locality: e.FS, Estimator: e.Prov})
+	if err != nil {
+		return ScalePoint{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := core.Run(e.Env, driver, sched, core.Config{ContainerVCores: 1, ContainerMemMB: 1024})
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	events := e.eng.Processed()
+	pt := ScalePoint{
+		Tasks:       cfg.Tasks / cfg.Width * cfg.Width,
+		Nodes:       cfg.Nodes,
+		Policy:      cfg.Policy,
+		MakespanSec: rep.MakespanSec,
+		WallSec:     wall,
+		Events:      events,
+		AllocMB:     float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		Containers:  rep.Containers,
+	}
+	if wall > 0 {
+		pt.EventsPerSec = float64(events) / wall
+	}
+	return pt, nil
+}
+
+// ScaleSweepConfigs is the default ladder the benchmark and CI smoke run:
+// from a small sanity point up to ~10k tasks on a 256-node cluster.
+func ScaleSweepConfigs(full bool) []ScaleConfig {
+	cfgs := []ScaleConfig{
+		{Tasks: 512, Width: 32, Nodes: 16, Policy: scheduler.PolicyFCFS},
+		{Tasks: 2048, Width: 64, Nodes: 64, Policy: scheduler.PolicyDataAware},
+	}
+	if full {
+		cfgs = append(cfgs,
+			ScaleConfig{Tasks: 4096, Width: 128, Nodes: 128, Policy: scheduler.PolicyDataAware},
+			ScaleConfig{Tasks: 10240, Width: 256, Nodes: 256, Policy: scheduler.PolicyDataAware},
+			ScaleConfig{Tasks: 10240, Width: 256, Nodes: 256, Policy: scheduler.PolicyAdaptiveGreedy},
+		)
+	}
+	return cfgs
+}
+
+// ScaleSweep runs a ladder of configurations.
+func ScaleSweep(cfgs []ScaleConfig) (*ScaleResult, error) {
+	res := &ScaleResult{}
+	for _, cfg := range cfgs {
+		pt, err := Scale(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scale %d tasks / %d nodes / %s: %w", cfg.Tasks, cfg.Nodes, cfg.Policy, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// JSON serializes the result for BENCH_scale.json.
+func (r *ScaleResult) JSON() []byte {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	return append(b, '\n')
+}
+
+// Render formats the result as an aligned text table.
+func (r *ScaleResult) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Tasks), fmt.Sprint(p.Nodes), p.Policy,
+			fmt.Sprintf("%.0f", p.MakespanSec),
+			fmt.Sprintf("%.3f", p.WallSec),
+			fmt.Sprint(p.Events),
+			fmt.Sprintf("%.0f", p.EventsPerSec),
+			fmt.Sprintf("%.1f", p.AllocMB),
+		})
+	}
+	return table(
+		[]string{"tasks", "nodes", "policy", "makespan-s", "wall-s", "events", "events/s", "alloc-MB"},
+		rows,
+	)
+}

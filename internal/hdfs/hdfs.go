@@ -58,6 +58,7 @@ type FS struct {
 	files    map[string]*File
 	dead     map[string]bool // decommissioned/crashed nodes
 	excluded map[string]bool // non-datanode (master) nodes
+	epoch    uint64          // bumped whenever existing files' locality can change
 
 	// readFault, when set, is consulted before each Read; a non-nil error
 	// fails that read as a transient I/O error (the chaos harness's model
@@ -93,6 +94,39 @@ func New(c *cluster.Cluster, cfg Config, seed int64) *FS {
 // Config returns the effective configuration.
 func (fs *FS) Config() Config { return fs.cfg }
 
+// LocalityEpoch is a counter that advances whenever the locality of an
+// already-registered file can have changed: node death/revival, deletes,
+// re-replication, or overwrites. Registering a brand-new file does not
+// advance it — a task only becomes ready once its inputs exist, so new
+// files cannot affect queued tasks. Schedulers cache locality lookups and
+// invalidate when the epoch moves.
+func (fs *FS) LocalityEpoch() uint64 { return fs.epoch }
+
+// CandidateNodes returns every node holding a live replica of any block of
+// the given paths — exactly the nodes where LocalFraction can be positive.
+// The data-aware scheduler uses it to bucket queued tasks by node instead
+// of scoring every queued task against every freed container. The order is
+// deterministic (path, block, replica order).
+func (fs *FS) CandidateNodes(paths []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		f, ok := fs.files[p]
+		if !ok || f.External {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, r := range b.Replicas {
+				if !seen[r] && !fs.dead[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Stat returns file metadata.
 func (fs *FS) Stat(path string) (*File, bool) {
 	f, ok := fs.files[path]
@@ -107,6 +141,9 @@ func (fs *FS) Exists(path string) bool {
 
 // Delete removes a file's metadata (no I/O is simulated for deletes).
 func (fs *FS) Delete(path string) {
+	if _, ok := fs.files[path]; ok {
+		fs.epoch++
+	}
 	delete(fs.files, path)
 }
 
@@ -128,8 +165,17 @@ func (fs *FS) Put(path string, sizeMB float64, writerNode string) (*File, error)
 	if err != nil {
 		return nil, err
 	}
-	fs.files[path] = f
+	fs.register(path, f)
 	return f, nil
+}
+
+// register installs file metadata, advancing the locality epoch only on
+// overwrite (see LocalityEpoch).
+func (fs *FS) register(path string, f *File) {
+	if _, ok := fs.files[path]; ok {
+		fs.epoch++
+	}
+	fs.files[path] = f
 }
 
 // buildFile lays out blocks and replica placement without registering the
@@ -158,7 +204,7 @@ func (fs *FS) buildFile(path string, sizeMB float64, writerNode string) (*File, 
 // PutExternal registers a file that lives in the external source (S3).
 func (fs *FS) PutExternal(path string, sizeMB float64) *File {
 	f := &File{Path: path, SizeMB: sizeMB, External: true}
-	fs.files[path] = f
+	fs.register(path, f)
 	return f
 }
 
@@ -207,11 +253,13 @@ func (fs *FS) liveNodes() []string {
 // block remains — the redundancy property of §3.1.
 func (fs *FS) KillNode(nodeID string) {
 	fs.dead[nodeID] = true
+	fs.epoch++
 }
 
 // ReviveNode brings a node back (existing replica metadata is retained).
 func (fs *FS) ReviveNode(nodeID string) {
 	delete(fs.dead, nodeID)
+	fs.epoch++
 }
 
 // Readable reports whether every block of the file has at least one live
@@ -389,6 +437,7 @@ func (fs *FS) Rereplicate(done func(copies int)) {
 		j := j
 		fs.cluster.Transfer(fs.cluster.Node(j.src), fs.cluster.Node(j.dst), j.sizeMB, func() {
 			j.b.Replicas = append(j.b.Replicas, j.dst)
+			fs.epoch++
 			pending--
 			if pending == 0 {
 				done(len(jobs))
@@ -546,7 +595,7 @@ func (fs *FS) Write(nodeID, path string, sizeMB float64, done func(error)) {
 		return
 	}
 	register := func() {
-		fs.files[path] = f
+		fs.register(path, f)
 		done(nil)
 	}
 	if sizeMB == 0 {

@@ -79,6 +79,7 @@ type Driver struct {
 
 	invocations map[string]*invocation
 	byTaskID    map[int64]*invocation
+	unresolved  int // count of invocations not yet resolved (O(1) Done)
 
 	newTasks []*wf.Task
 	targets  []value
@@ -146,6 +147,9 @@ func (d *Driver) OnTaskComplete(res *wf.TaskResult) ([]*wf.Task, error) {
 	if !res.Succeeded() {
 		return nil, fmt.Errorf("cuneiform: task %s failed (exit %d): %s", res.Task, res.ExitCode, res.Error)
 	}
+	if !inv.resolved {
+		d.unresolved--
+	}
 	inv.resolved = true
 	inv.outputs = make(map[string][]string, len(inv.def.Outputs))
 	for _, o := range inv.def.Outputs {
@@ -160,15 +164,12 @@ func (d *Driver) OnTaskComplete(res *wf.TaskResult) ([]*wf.Task, error) {
 }
 
 // Done implements wf.Driver: the workflow is finished when no invocation is
-// pending and every target value is concrete.
+// pending and every target value is concrete. The pending count is tracked
+// incrementally so this is O(targets), not O(invocations) — it runs after
+// every task completion.
 func (d *Driver) Done() bool {
-	if !d.parsed {
+	if !d.parsed || d.unresolved > 0 {
 		return false
-	}
-	for _, inv := range d.invocations {
-		if !inv.resolved {
-			return false
-		}
 	}
 	for _, t := range d.targets {
 		if !t.concrete() {
@@ -461,6 +462,7 @@ func (d *Driver) invoke(def *DefTask, binding map[string][]string) *invocation {
 	inv := &invocation{key: key, task: task, def: def}
 	d.invocations[key] = inv
 	d.byTaskID[id] = inv
+	d.unresolved++
 	d.newTasks = append(d.newTasks, task)
 	return inv
 }

@@ -47,6 +47,23 @@ func (s *DBStore) Append(ev Event) error {
 	return s.db.Put(fmt.Sprintf("ev%020d", s.seq), b)
 }
 
+// AppendBatch implements BatchAppender.
+func (s *DBStore) AppendBatch(evs []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ev := range evs {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("provenance: encoding event %s: %w", ev.ID, err)
+		}
+		s.seq++
+		if err := s.db.Put(fmt.Sprintf("ev%020d", s.seq), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Events implements Store.
 func (s *DBStore) Events() ([]Event, error) {
 	var events []Event

@@ -17,11 +17,18 @@ import (
 // Following the paper's estimation strategy, the runtime estimate for a
 // (signature, node) pair is always the latest observation, so the scheduler
 // adapts quickly to performance changes in the infrastructure.
+// flushEvery is the buffered-append high-water mark: Record hands events to
+// the store in batches of this size (or earlier, at an explicit Flush).
+const flushEvery = 128
+
 type Manager struct {
 	mu    sync.Mutex
 	store Store
+	buf   []Event // recorded but not yet handed to the store
 
 	lastRuntime map[string]map[string]float64 // signature → node → latest duration
+	runtimeSum  map[string]float64            // signature → Σ lastRuntime values (O(1) mean)
+	estVer      map[string]uint64             // signature → observation version
 	runtimes    map[string][]float64          // signature → successful durations, in order
 	fileSizes   map[string]float64            // path → size MB
 	transferSec map[string]float64            // path → latest transfer time
@@ -40,6 +47,8 @@ func NewManager(store Store) (*Manager, error) {
 	m := &Manager{
 		store:       store,
 		lastRuntime: make(map[string]map[string]float64),
+		runtimeSum:  make(map[string]float64),
+		estVer:      make(map[string]uint64),
 		runtimes:    make(map[string][]float64),
 		fileSizes:   make(map[string]float64),
 		transferSec: make(map[string]float64),
@@ -56,17 +65,53 @@ func NewManager(store Store) (*Manager, error) {
 	return m, nil
 }
 
-// Store exposes the underlying store (e.g. to re-read a trace).
-func (m *Manager) Store() Store { return m.store }
+// Store exposes the underlying store (e.g. to re-read a trace). Buffered
+// events are flushed first so the store always reflects everything recorded.
+func (m *Manager) Store() Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_ = m.flushLocked()
+	return m.store
+}
 
-// Record appends an event and updates the indexes.
+// Record updates the indexes immediately (so scheduling estimates never lag)
+// and buffers the event for the store; the buffer is handed over in batches
+// of flushEvery, or at an explicit Flush. Persistence errors surface at the
+// flush that hits them.
 func (m *Manager) Record(ev Event) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.store.Append(ev); err != nil {
-		return err
-	}
 	m.index(ev)
+	m.buf = append(m.buf, ev)
+	if len(m.buf) >= flushEvery {
+		return m.flushLocked()
+	}
+	return nil
+}
+
+// Flush persists all buffered events to the store. Callers invoke it at
+// durability boundaries: workflow completion, AM kill, and resume — the
+// points crash recovery reads the store back from.
+func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushLocked()
+}
+
+func (m *Manager) flushLocked() error {
+	if len(m.buf) == 0 {
+		return nil
+	}
+	buf := m.buf
+	m.buf = m.buf[:0]
+	if ba, ok := m.store.(BatchAppender); ok {
+		return ba.AppendBatch(buf)
+	}
+	for _, ev := range buf {
+		if err := m.store.Append(ev); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -134,7 +179,14 @@ func (m *Manager) index(ev Event) {
 				byNode = make(map[string]float64)
 				m.lastRuntime[ev.Signature] = byNode
 			}
+			old, seen := byNode[ev.Node]
 			byNode[ev.Node] = ev.DurationSec
+			if seen {
+				m.runtimeSum[ev.Signature] += ev.DurationSec - old
+			} else {
+				m.runtimeSum[ev.Signature] += ev.DurationSec
+			}
+			m.estVer[ev.Signature]++
 		}
 		// Only successful attempts feed the runtime distribution; a crashed
 		// or killed attempt's duration says nothing about how long the task
@@ -170,7 +222,8 @@ func (m *Manager) LastRuntime(signature, node string) (float64, bool) {
 }
 
 // MeanRuntime returns the mean of the latest observations of signature
-// across nodes — HEFT's node-independent ranking input.
+// across nodes — HEFT's node-independent ranking input. O(1): the sum of
+// latest observations is maintained incrementally by index.
 func (m *Manager) MeanRuntime(signature string) (float64, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -178,11 +231,16 @@ func (m *Manager) MeanRuntime(signature string) (float64, bool) {
 	if !ok || len(byNode) == 0 {
 		return 0, false
 	}
-	var sum float64
-	for _, d := range byNode {
-		sum += d
-	}
-	return sum / float64(len(byNode)), true
+	return m.runtimeSum[signature] / float64(len(byNode)), true
+}
+
+// EstimateVersion returns a counter that advances with every new runtime
+// observation for the signature. Schedulers memoize estimate-derived values
+// (scheduler.EstimateVersioner) and invalidate when it moves.
+func (m *Manager) EstimateVersion(signature string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.estVer[signature]
 }
 
 // RuntimeP95 returns the 95th-percentile duration over all successful

@@ -100,6 +100,9 @@ func TestManagerLoadsPriorEvents(t *testing.T) {
 	store := NewMemStore()
 	m1, _ := NewManager(store)
 	m1.RecordTaskEnd("wf1", "w", sampleResult("tool", "n1", 77), nil)
+	if err := m1.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	// A second manager over the same store sees the earlier run — the
 	// mechanism behind Fig. 9's consecutive executions.
 	m2, err := NewManager(store)
@@ -120,6 +123,9 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	m, _ := NewManager(fs)
 	m.RecordWorkflowStart("wf1", "demo", 0)
 	m.RecordTaskEnd("wf1", "demo", sampleResult("tool", "n1", 10), nil)
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	events, err := fs.Events()
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +173,9 @@ func TestDBStoreRoundTrip(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		m.RecordTaskEnd("wf1", "demo", sampleResult("tool", "n1", float64(10+i)), nil)
 	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	events, err := store.Events()
 	if err != nil {
 		t.Fatal(err)
@@ -197,7 +206,8 @@ func TestDBStoreRoundTrip(t *testing.T) {
 		t.Fatalf("latest after reopen = %g %v", d, ok)
 	}
 	m2.RecordTaskEnd("wf2", "demo", sampleResult("tool", "n2", 99), nil)
-	events, _ = store2.Events()
+	// m2.Store() flushes the buffered event before exposing the store.
+	events, _ = m2.Store().Events()
 	if len(events) != 6 {
 		t.Fatalf("after reopen append: %d events", len(events))
 	}

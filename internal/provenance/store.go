@@ -20,6 +20,14 @@ type Store interface {
 	Close() error
 }
 
+// BatchAppender is the optional bulk extension of Store: AppendBatch
+// persists all events with one lock acquisition and (for file-backed
+// stores) one flush, which is what makes the Manager's buffered appends
+// cheaper than event-at-a-time writes.
+type BatchAppender interface {
+	AppendBatch(evs []Event) error
+}
+
 // MemStore keeps events in memory. The zero value is ready to use.
 type MemStore struct {
 	mu     sync.Mutex
@@ -34,6 +42,14 @@ func (s *MemStore) Append(ev Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.events = append(s.events, ev)
+	return nil
+}
+
+// AppendBatch implements BatchAppender.
+func (s *MemStore) AppendBatch(evs []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, evs...)
 	return nil
 }
 
@@ -80,6 +96,26 @@ func (s *FileStore) Append(ev Event) error {
 	}
 	if _, err := s.w.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("provenance: writing trace: %w", err)
+	}
+	return s.w.Flush()
+}
+
+// AppendBatch implements BatchAppender: all lines are written under one
+// lock and flushed to the OS once at the end.
+func (s *FileStore) AppendBatch(evs []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("provenance: store %s is closed", s.path)
+	}
+	for _, ev := range evs {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("provenance: encoding event %s: %w", ev.ID, err)
+		}
+		if _, err := s.w.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("provenance: writing trace: %w", err)
+		}
 	}
 	return s.w.Flush()
 }

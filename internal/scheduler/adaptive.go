@@ -2,6 +2,42 @@ package scheduler
 
 import "hiway/internal/wf"
 
+// agEntry is one queued task plus its global arrival sequence number, used
+// to preserve FCFS tie-breaking across signature buckets.
+type agEntry struct {
+	t   *wf.Task
+	seq int64
+}
+
+// agBucket is the FIFO of queued tasks sharing one signature, head-indexed
+// so pops are O(1) and vacated slots are nil'd.
+type agBucket struct {
+	entries []agEntry
+	head    int
+}
+
+func (b *agBucket) empty() bool { return b.head >= len(b.entries) }
+
+func (b *agBucket) peek() *agEntry { return &b.entries[b.head] }
+
+func (b *agBucket) pop() *wf.Task {
+	e := b.entries[b.head]
+	b.entries[b.head] = agEntry{}
+	b.head++
+	if b.empty() {
+		b.entries = b.entries[:0]
+		b.head = 0
+	}
+	return e.t
+}
+
+// agAdv is a memoized advantage for one (signature, node) pair, valid while
+// the estimator's version for the signature is unchanged.
+type agAdv struct {
+	adv float64
+	ver uint64
+}
+
 // AdaptiveGreedy is a dynamic, provenance-driven policy of the kind §3.4
 // announces as follow-up work to the static HEFT: when YARN allocates a
 // container, it picks — among all queued tasks — the one whose runtime
@@ -13,10 +49,20 @@ import "hiway/internal/wf"
 // Estimates follow the paper's strategy: the latest observation per
 // (signature, node), with unobserved pairs treated as zero so that new
 // assignments get explored.
+//
+// The advantage of a task on a node depends only on its signature, so the
+// queue is bucketed by signature: Select compares one candidate per
+// distinct signature (the earliest queued) instead of scanning every task,
+// and the advantage per (signature, node) is memoized, invalidated when
+// the estimator reports a new observation for the signature.
 type AdaptiveGreedy struct {
 	healthGate
-	est   Estimator
-	queue []*wf.Task
+	est  Estimator
+	ver  EstimateVersioner // nil → no memoization
+	sigs map[string]*agBucket
+	adv  map[string]map[string]agAdv // signature → node → memo
+	n    int
+	seq  int64
 
 	// declineBudget bounds how often the policy may turn down an
 	// allocated container on a node known to be much slower than average
@@ -31,14 +77,33 @@ type AdaptiveGreedy struct {
 
 // NewAdaptiveGreedy returns the policy backed by the estimator.
 func NewAdaptiveGreedy(est Estimator) *AdaptiveGreedy {
-	return &AdaptiveGreedy{est: est, declineBudget: 64, declineFactor: 3}
+	s := &AdaptiveGreedy{
+		est:           est,
+		sigs:          make(map[string]*agBucket),
+		adv:           make(map[string]map[string]agAdv),
+		declineBudget: 64,
+		declineFactor: 3,
+	}
+	if v, ok := est.(EstimateVersioner); ok {
+		s.ver = v
+	}
+	return s
 }
 
 // Name implements Scheduler.
 func (s *AdaptiveGreedy) Name() string { return "adaptive-greedy" }
 
 // OnTaskReady implements Scheduler.
-func (s *AdaptiveGreedy) OnTaskReady(t *wf.Task) { s.queue = append(s.queue, t) }
+func (s *AdaptiveGreedy) OnTaskReady(t *wf.Task) {
+	b := s.sigs[t.Name]
+	if b == nil {
+		b = &agBucket{}
+		s.sigs[t.Name] = b
+	}
+	s.seq++
+	b.entries = append(b.entries, agEntry{t: t, seq: s.seq})
+	s.n++
+}
 
 // Placement implements Scheduler: fully dynamic, no pinning.
 func (s *AdaptiveGreedy) Placement(*wf.Task) (string, bool) { return "", false }
@@ -50,23 +115,39 @@ func (s *AdaptiveGreedy) Placement(*wf.Task) (string, bool) { return "", false }
 // known to run declineFactor× slower here than its cross-node mean, the
 // container is declined (nil) while the decline budget lasts; the AM
 // re-requests a container elsewhere.
+//
+// Within a signature all tasks tie, so only each bucket's head competes;
+// across signatures, equal advantages fall back to arrival order via the
+// global sequence number — the same choice the linear scan made, but in
+// O(distinct signatures). The map iteration order is irrelevant because
+// (advantage, seq) is a total order.
 func (s *AdaptiveGreedy) Select(node string) *wf.Task {
-	if len(s.queue) == 0 || !s.nodeOK(node) {
+	if s.n == 0 || !s.nodeOK(node) {
 		return nil
 	}
-	best := 0
-	bestAdv := s.advantage(s.queue[0], node)
-	for i := 1; i < len(s.queue); i++ {
-		if adv := s.advantage(s.queue[i], node); adv > bestAdv {
-			best, bestAdv = i, adv
+	var bestB *agBucket
+	var bestSeq int64
+	bestAdv := 0.0
+	for sig, b := range s.sigs {
+		if b.empty() {
+			continue
+		}
+		adv := s.advantage(sig, node)
+		head := b.peek()
+		if bestB == nil || adv > bestAdv || (adv == bestAdv && head.seq < bestSeq) {
+			bestB, bestAdv, bestSeq = b, adv, head.seq
 		}
 	}
-	t := s.queue[best]
+	if bestB == nil {
+		return nil
+	}
+	t := bestB.peek().t
 	if s.declineBudget > 0 && s.shouldDecline(t, node) {
 		s.declineBudget--
 		return nil
 	}
-	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	bestB.pop()
+	s.n--
 	return t
 }
 
@@ -84,12 +165,32 @@ func (s *AdaptiveGreedy) shouldDecline(t *wf.Task, node string) bool {
 	return last > s.declineFactor*mean
 }
 
-func (s *AdaptiveGreedy) advantage(t *wf.Task, node string) float64 {
-	mean, ok := s.est.MeanRuntime(t.Name)
+// advantage returns mean(sig) − last(sig, node), memoized per
+// (signature, node) when the estimator exposes observation versions.
+func (s *AdaptiveGreedy) advantage(sig, node string) float64 {
+	if s.ver == nil {
+		return s.computeAdvantage(sig, node)
+	}
+	ver := s.ver.EstimateVersion(sig)
+	byNode := s.adv[sig]
+	if m, ok := byNode[node]; ok && m.ver == ver {
+		return m.adv
+	}
+	adv := s.computeAdvantage(sig, node)
+	if byNode == nil {
+		byNode = make(map[string]agAdv)
+		s.adv[sig] = byNode
+	}
+	byNode[node] = agAdv{adv: adv, ver: ver}
+	return adv
+}
+
+func (s *AdaptiveGreedy) computeAdvantage(sig, node string) float64 {
+	mean, ok := s.est.MeanRuntime(sig)
 	if !ok {
 		return 0 // nothing known about the signature: neutral
 	}
-	last, ok := s.est.LastRuntime(t.Name, node)
+	last, ok := s.est.LastRuntime(sig, node)
 	if !ok {
 		last = 0 // unobserved here: explore
 	}
@@ -97,4 +198,4 @@ func (s *AdaptiveGreedy) advantage(t *wf.Task, node string) float64 {
 }
 
 // Queued implements Scheduler.
-func (s *AdaptiveGreedy) Queued() int { return len(s.queue) }
+func (s *AdaptiveGreedy) Queued() int { return s.n }

@@ -1,0 +1,157 @@
+package scheduler
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hiway/internal/wf"
+)
+
+// benchOracle answers locality queries from a deterministic hash — the
+// stand-in for hdfs.FS in scheduler-only benchmarks. Like real HDFS
+// placement, each input set is local to a minority of nodes (hash-selected),
+// and LocalFraction is positive exactly on those, so CandidateNodes is
+// consistent with LocalFraction as the CandidateOracle contract requires.
+type benchOracle struct {
+	nodes []string
+	cand  map[string][]string // joined paths → candidate nodes (the namenode answers this from block metadata in O(replicas))
+}
+
+func benchHash(paths []string, nodeID string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range paths {
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint64(p[i])) * 1099511628211
+		}
+	}
+	for i := 0; i < len(nodeID); i++ {
+		h = (h ^ uint64(nodeID[i])) * 1099511628211
+	}
+	return h
+}
+
+func (o *benchOracle) LocalFraction(paths []string, nodeID string) float64 {
+	h := benchHash(paths, nodeID)
+	if h%16 != 0 {
+		return 0
+	}
+	return float64(h/16%1000+1) / 1001
+}
+
+func (o *benchOracle) CandidateNodes(paths []string) []string {
+	key := strings.Join(paths, "\x00")
+	if c, ok := o.cand[key]; ok {
+		return c
+	}
+	var out []string
+	for _, n := range o.nodes {
+		if benchHash(paths, n)%16 == 0 {
+			out = append(out, n)
+		}
+	}
+	if o.cand == nil {
+		o.cand = make(map[string][]string)
+	}
+	o.cand[key] = out
+	return out
+}
+
+func (o *benchOracle) LocalityEpoch() uint64 { return 0 }
+
+// benchEstimator answers runtime-estimate queries deterministically.
+type benchEstimator struct{}
+
+func (benchEstimator) LastRuntime(signature, node string) (float64, bool) {
+	if (len(signature)+len(node))%3 == 0 {
+		return 0, false
+	}
+	return float64((len(signature)*7+len(node)*13)%50 + 1), true
+}
+
+func (benchEstimator) MeanRuntime(signature string) (float64, bool) {
+	return float64(len(signature)%40 + 5), true
+}
+
+// benchTasks builds n tasks over s distinct signatures with small input sets.
+func benchTasks(n, s int) []*wf.Task {
+	tasks := make([]*wf.Task, n)
+	for i := range tasks {
+		tasks[i] = &wf.Task{
+			ID:     int64(i + 1),
+			Name:   fmt.Sprintf("sig-%02d", i%s),
+			Inputs: []string{fmt.Sprintf("/in/part-%03d", i%64), "/ref/genome"},
+		}
+	}
+	return tasks
+}
+
+// churn drives a policy through a large-cluster schedule: tasks become ready
+// in waves and every Select mimics a freed container on a rotating node —
+// the per-container hot path of the Workflow Scheduler.
+func churn(b *testing.B, mk func() Scheduler, tasks []*wf.Task, nodes int) {
+	b.Helper()
+	b.ReportAllocs()
+	nodeIDs := make([]string, nodes)
+	for i := range nodeIDs {
+		nodeIDs[i] = fmt.Sprintf("node-%03d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mk()
+		next := 0
+		selected := 0
+		for selected < len(tasks) {
+			// A wave of tasks becomes ready (upstream completions).
+			for w := 0; w < 32 && next < len(tasks); w++ {
+				s.OnTaskReady(tasks[next])
+				next++
+			}
+			// Containers free up on rotating nodes; each picks a task.
+			for c := 0; c < 16 && s.Queued() > 0; c++ {
+				if t := s.Select(nodeIDs[(selected+c)%nodes]); t != nil {
+					selected++
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFCFSChurn(b *testing.B) {
+	tasks := benchTasks(10000, 8)
+	churn(b, func() Scheduler { return NewFCFS() }, tasks, 256)
+}
+
+func benchNodeIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%03d", i)
+	}
+	return ids
+}
+
+func BenchmarkDataAwareChurn(b *testing.B) {
+	tasks := benchTasks(4000, 8)
+	oracle := &benchOracle{nodes: benchNodeIDs(256)}
+	churn(b, func() Scheduler { return NewDataAware(oracle) }, tasks, 256)
+}
+
+// BenchmarkDataAwareChurnScan forces the linear-scan fallback (a plain
+// LocalityOracle without candidate indexing) for comparison.
+func BenchmarkDataAwareChurnScan(b *testing.B) {
+	tasks := benchTasks(4000, 8)
+	oracle := &benchOracle{nodes: benchNodeIDs(256)}
+	churn(b, func() Scheduler { return NewDataAware(scanOnly{oracle}) }, tasks, 256)
+}
+
+// scanOnly hides the CandidateOracle methods of the wrapped oracle.
+type scanOnly struct{ o *benchOracle }
+
+func (s scanOnly) LocalFraction(paths []string, nodeID string) float64 {
+	return s.o.LocalFraction(paths, nodeID)
+}
+
+func BenchmarkAdaptiveGreedyChurn(b *testing.B) {
+	tasks := benchTasks(4000, 8)
+	churn(b, func() Scheduler { return NewAdaptiveGreedy(benchEstimator{}) }, tasks, 256)
+}

@@ -40,6 +40,26 @@ type LocalityOracle interface {
 	LocalFraction(paths []string, nodeID string) float64
 }
 
+// CandidateOracle is the optional fast-path extension of LocalityOracle:
+// CandidateNodes must return a superset of the nodes where LocalFraction of
+// the paths is positive, and LocalityEpoch must advance whenever the
+// locality of an existing file can change. hdfs.FS implements it; when the
+// oracle does, DataAware indexes queued tasks by node instead of scanning
+// the whole queue per freed container.
+type CandidateOracle interface {
+	LocalityOracle
+	CandidateNodes(paths []string) []string
+	LocalityEpoch() uint64
+}
+
+// EstimateVersioner is the optional extension of Estimator that lets
+// schedulers memoize estimate-derived values: Version(signature) advances
+// whenever a new observation for the signature arrives.
+// provenance.Manager implements it.
+type EstimateVersioner interface {
+	EstimateVersion(signature string) uint64
+}
+
 // Scheduler assigns ready tasks to allocated containers.
 type Scheduler interface {
 	// Name identifies the policy.
@@ -130,9 +150,13 @@ func (g *healthGate) nodeOK(node string) bool {
 }
 
 // FCFS runs tasks in arrival order on whatever container comes up first.
+// The queue is a head-indexed ring: pops advance the head and nil the
+// vacated slot (so completed tasks are not retained by the backing array),
+// and the buffer is reclaimed once drained or mostly stale.
 type FCFS struct {
 	healthGate
 	queue []*wf.Task
+	head  int
 }
 
 // NewFCFS returns an empty FCFS queue.
@@ -150,37 +174,123 @@ func (s *FCFS) Placement(*wf.Task) (string, bool) { return "", false }
 // Select implements Scheduler: pop the head of the queue. Containers on
 // blacklisted nodes are declined (nil) so the AM re-requests elsewhere.
 func (s *FCFS) Select(node string) *wf.Task {
-	if len(s.queue) == 0 || !s.nodeOK(node) {
+	if s.head >= len(s.queue) || !s.nodeOK(node) {
 		return nil
 	}
-	t := s.queue[0]
-	s.queue = s.queue[1:]
+	t := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	} else if s.head > 64 && s.head > len(s.queue)/2 {
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
+	}
 	return t
 }
 
 // Queued implements Scheduler.
-func (s *FCFS) Queued() int { return len(s.queue) }
+func (s *FCFS) Queued() int { return len(s.queue) - s.head }
+
+// daEntry is one live enqueueing of a task in the DataAware index. A task
+// re-queued after a failure gets a fresh entry; superseded entries are
+// detected by pointer identity against the live map and dropped lazily.
+type daEntry struct {
+	t   *wf.Task
+	seq int64
+}
+
+// daScored is a bucket slot: an entry plus its locality fraction on the
+// bucket's node, computed once at insertion (valid until the epoch moves).
+type daScored struct {
+	e    *daEntry
+	frac float64
+}
 
 // DataAware minimizes data transfer for I/O-intensive workflows: whenever a
-// container is allocated it skims all pending tasks and selects the one
-// with the highest fraction of input data locally available (in HDFS) on
-// the hosting node. Ties fall back to arrival order.
+// container is allocated it selects, among all pending tasks, the one with
+// the highest fraction of input data locally available (in HDFS) on the
+// hosting node. Ties fall back to arrival order.
+//
+// With a plain LocalityOracle every Select scans the whole queue. With a
+// CandidateOracle (hdfs.FS) the queue is indexed: each ready task is scored
+// once into per-node buckets covering every node where its locality is
+// positive, so Select only examines the handful of tasks with data on the
+// freed node, falling back to plain FIFO order when none has any. Buckets
+// are rebuilt when the oracle's locality epoch moves (node death, deletes,
+// re-replication — rare), and stale entries are dropped lazily.
 type DataAware struct {
 	healthGate
 	locality LocalityOracle
-	queue    []*wf.Task
+	cand     CandidateOracle // nil → linear-scan fallback
+
+	// linear-scan fallback state
+	queue []*wf.Task
+
+	// indexed fast-path state
+	queued  map[int64]*daEntry   // task ID → live entry
+	fifo    []*daEntry           // arrival order (zero-locality fallback)
+	head    int                  // first possibly-live fifo slot
+	buckets map[string][]daScored
+	epoch   uint64
+	seq     int64
 }
 
 // NewDataAware returns the policy backed by the given locality oracle.
 func NewDataAware(locality LocalityOracle) *DataAware {
-	return &DataAware{locality: locality}
+	s := &DataAware{locality: locality}
+	if c, ok := locality.(CandidateOracle); ok {
+		s.cand = c
+		s.queued = make(map[int64]*daEntry)
+		s.buckets = make(map[string][]daScored)
+		s.epoch = c.LocalityEpoch()
+	}
+	return s
 }
 
 // Name implements Scheduler.
 func (s *DataAware) Name() string { return PolicyDataAware }
 
 // OnTaskReady implements Scheduler.
-func (s *DataAware) OnTaskReady(t *wf.Task) { s.queue = append(s.queue, t) }
+func (s *DataAware) OnTaskReady(t *wf.Task) {
+	if s.cand == nil {
+		s.queue = append(s.queue, t)
+		return
+	}
+	s.maybeInvalidate()
+	s.seq++
+	e := &daEntry{t: t, seq: s.seq}
+	s.queued[t.ID] = e
+	s.fifo = append(s.fifo, e)
+	s.score(e)
+}
+
+// score inserts the entry into the bucket of every node where its inputs
+// have positive locality.
+func (s *DataAware) score(e *daEntry) {
+	for _, n := range s.cand.CandidateNodes(e.t.Inputs) {
+		if frac := s.locality.LocalFraction(e.t.Inputs, n); frac > 0 {
+			s.buckets[n] = append(s.buckets[n], daScored{e: e, frac: frac})
+		}
+	}
+}
+
+// maybeInvalidate rebuilds all buckets when the oracle's locality epoch has
+// moved since they were scored.
+func (s *DataAware) maybeInvalidate() {
+	ep := s.cand.LocalityEpoch()
+	if ep == s.epoch {
+		return
+	}
+	s.epoch = ep
+	s.buckets = make(map[string][]daScored)
+	for i := s.head; i < len(s.fifo); i++ {
+		if e := s.fifo[i]; e != nil && s.queued[e.t.ID] == e {
+			s.score(e)
+		}
+	}
+}
 
 // Placement implements Scheduler: containers may land anywhere; the task
 // choice adapts to wherever the container was placed.
@@ -188,6 +298,61 @@ func (s *DataAware) Placement(*wf.Task) (string, bool) { return "", false }
 
 // Select implements Scheduler.
 func (s *DataAware) Select(node string) *wf.Task {
+	if s.cand == nil {
+		return s.selectScan(node)
+	}
+	s.maybeInvalidate()
+	if len(s.queued) == 0 || !s.nodeOK(node) {
+		return nil
+	}
+	// Best positive-locality candidate from this node's bucket, compacting
+	// stale entries in place as we scan. Ties go to the earliest arrival.
+	var best *daEntry
+	bestFrac := 0.0
+	b := s.buckets[node]
+	w := 0
+	for _, sc := range b {
+		if s.queued[sc.e.t.ID] != sc.e {
+			continue // selected or superseded since scoring
+		}
+		b[w] = sc
+		w++
+		if sc.frac > bestFrac || (sc.frac == bestFrac && best != nil && sc.e.seq < best.seq) {
+			best, bestFrac = sc.e, sc.frac
+		}
+	}
+	for i := w; i < len(b); i++ {
+		b[i] = daScored{}
+	}
+	if len(b) > 0 {
+		s.buckets[node] = b[:w]
+	}
+	if best == nil {
+		// No local data anywhere on this node: plain arrival order, exactly
+		// what the linear scan degenerates to when every fraction is zero.
+		for s.head < len(s.fifo) {
+			e := s.fifo[s.head]
+			s.fifo[s.head] = nil
+			s.head++
+			if e != nil && s.queued[e.t.ID] == e {
+				best = e
+				break
+			}
+		}
+		if s.head == len(s.fifo) {
+			s.fifo = s.fifo[:0]
+			s.head = 0
+		}
+		if best == nil {
+			return nil
+		}
+	}
+	delete(s.queued, best.t.ID)
+	return best.t
+}
+
+// selectScan is the O(queue) fallback for plain locality oracles.
+func (s *DataAware) selectScan(node string) *wf.Task {
 	if len(s.queue) == 0 || !s.nodeOK(node) {
 		return nil
 	}
@@ -199,9 +364,16 @@ func (s *DataAware) Select(node string) *wf.Task {
 		}
 	}
 	t := s.queue[best]
-	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	copy(s.queue[best:], s.queue[best+1:])
+	s.queue[len(s.queue)-1] = nil
+	s.queue = s.queue[:len(s.queue)-1]
 	return t
 }
 
 // Queued implements Scheduler.
-func (s *DataAware) Queued() int { return len(s.queue) }
+func (s *DataAware) Queued() int {
+	if s.cand == nil {
+		return len(s.queue)
+	}
+	return len(s.queued)
+}

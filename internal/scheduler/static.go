@@ -27,11 +27,20 @@ func (s *staticBase) Name() string { return s.policy }
 // OnTaskReady implements Scheduler.
 func (s *staticBase) OnTaskReady(t *wf.Task) {
 	node := s.assignment[t.ID]
-	s.ready[node] = append(s.ready[node], t)
-	// Keep the per-node queue in plan priority order.
-	q := s.ready[node]
-	sort.SliceStable(q, func(i, j int) bool { return s.order[q[i].ID] < s.order[q[j].ID] })
+	s.ready[node] = s.insertByOrder(s.ready[node], t)
 	s.queued++
+}
+
+// insertByOrder places t into q keeping plan priority order (binary search
+// plus shift, instead of re-sorting the queue on every insertion). Equal
+// priorities keep insertion order, like the stable sort they replace.
+func (s *staticBase) insertByOrder(q []*wf.Task, t *wf.Task) []*wf.Task {
+	pos := s.order[t.ID]
+	i := sort.Search(len(q), func(k int) bool { return s.order[q[k].ID] > pos })
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = t
+	return q
 }
 
 // Placement implements Scheduler: static policies enforce their plan.
@@ -50,7 +59,9 @@ func (s *staticBase) Select(node string) *wf.Task {
 		return nil
 	}
 	t := q[0]
-	s.ready[node] = q[1:]
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	s.ready[node] = q[:len(q)-1]
 	s.queued--
 	return t
 }
@@ -71,10 +82,10 @@ func (s *staticBase) Reassign(t *wf.Task, node string) {
 	q := s.ready[old]
 	for i, qt := range q {
 		if qt.ID == t.ID {
-			s.ready[old] = append(q[:i:i], q[i+1:]...)
-			nq := append(s.ready[node], t)
-			sort.SliceStable(nq, func(a, b int) bool { return s.order[nq[a].ID] < s.order[nq[b].ID] })
-			s.ready[node] = nq
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			s.ready[old] = q[:len(q)-1]
+			s.ready[node] = s.insertByOrder(s.ready[node], t)
 			break
 		}
 	}

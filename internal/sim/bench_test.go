@@ -36,3 +36,43 @@ func BenchmarkSharedResourceManyConcurrentFlows(b *testing.B) {
 		e.Run()
 	}
 }
+
+// BenchmarkSharedResourceLargeChurn models the switch of a large cluster
+// mid-experiment: thousands of capped flows arriving staggered over time,
+// a third of the in-flight ones canceled (killed attempts, speculation
+// losers), everything contending for one aggregate capacity. This is the
+// membership-churn regime that dominates large-cluster simulations.
+func BenchmarkSharedResourceLargeChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		r := NewSharedResource(e, "switch", 10000)
+		live := make([]*Job, 0, 2000)
+		for j := 0; j < 2000; j++ {
+			j := j
+			e.Schedule(float64(j)*0.01, func() {
+				live = append(live, r.Submit(float64(j%31+5), float64(j%13+1), nil))
+				if j%3 == 2 {
+					live[len(live)/2].Cancel()
+				}
+			})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineTimerChurn measures schedule/cancel churn: the pattern of
+// per-attempt deadline timers, most of which are canceled before firing.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 5000; j++ {
+			ev := e.Schedule(float64(j%97)+1, func() {})
+			if j%4 != 0 {
+				e.Cancel(ev)
+			}
+		}
+		e.Run()
+	}
+}

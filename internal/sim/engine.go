@@ -23,7 +23,8 @@ type Event struct {
 	seq      int64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	reusable bool // pooled event: recycled on fire/cancel, handle must not outlive either
+	index    int  // heap index, -1 once popped
 }
 
 // Time returns the virtual time at which the event fires.
@@ -35,7 +36,8 @@ type Engine struct {
 	now    float64
 	seq    int64
 	queue  eventHeap
-	events int64 // total events executed, for diagnostics
+	events int64    // total events executed, for diagnostics
+	free   []*Event // pool of recycled reusable events
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -73,6 +75,35 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	return ev
 }
 
+// atReusable enqueues fn at absolute time t on a pooled Event that is
+// recycled the moment it fires or is canceled. The public contract that
+// cancel-after-fire is a safe no-op does NOT hold for pooled events, so this
+// stays package-internal: callers (SharedResource wake timers) must drop the
+// handle at fire/cancel time and never touch it again.
+func (e *Engine) atReusable(t float64, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.reusable = t, e.seq, fn, true
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// recycle resets a reusable event and returns it to the pool.
+func (e *Engine) recycle(ev *Event) {
+	*ev = Event{index: -1}
+	e.free = append(e.free, ev)
+}
+
 // Cancel prevents a scheduled event from firing. Canceling an event that
 // already fired or was already canceled is a no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -82,6 +113,9 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.canceled = true
 	if ev.index >= 0 {
 		heap.Remove(&e.queue, ev.index)
+		if ev.reusable {
+			e.recycle(ev)
+		}
 	}
 }
 
@@ -99,6 +133,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.events++
 		ev.fn()
+		if ev.reusable {
+			e.recycle(ev)
+		}
 		return true
 	}
 	return false

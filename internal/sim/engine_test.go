@@ -396,3 +396,121 @@ func TestSharedResourcePanicsOnBadCapacity(t *testing.T) {
 	}()
 	NewSharedResource(NewEngine(), "bad", 0)
 }
+
+// Zero-work jobs must behave like any other job between Submit and their
+// instantaneous completion: Active() is true, Cancel() withdraws the pending
+// callback, and a canceled zero-work job never fires.
+func TestSharedResourceZeroWorkJobSemantics(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, "net", 10)
+	fired := false
+	j := r.Submit(0, 0, func() { fired = true })
+	if !j.Active() {
+		t.Fatal("zero-work job must be active until its completion event fires")
+	}
+	j.Cancel()
+	if j.Active() {
+		t.Fatal("canceled zero-work job must be inactive")
+	}
+	j.Cancel() // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Fatal("canceled zero-work job must not invoke its callback")
+	}
+
+	// Uncanceled: completes at the current instant and deactivates.
+	done := false
+	j2 := r.Submit(-1, 0, func() { done = true })
+	e.Run()
+	if !done || j2.Active() || e.Now() != 0 {
+		t.Fatalf("zero-work completion: done=%v active=%v now=%g", done, j2.Active(), e.Now())
+	}
+	if j2.Remaining() != 0 {
+		t.Fatalf("zero-work remaining = %g", j2.Remaining())
+	}
+}
+
+// Meters must stay exact under cancel-heavy churn: the rate integral equals
+// the work actually processed — completed work plus the partial progress of
+// every canceled job — and never counts withdrawn work.
+func TestSharedResourceMetersUnderCancelChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		cap := 1 + rng.Float64()*99
+		r := NewSharedResource(e, "res", cap)
+		processed := 0.0 // accrued at completion or cancel
+		n := rng.Intn(24) + 2
+		for i := 0; i < n; i++ {
+			w := rng.Float64()*40 + 0.1
+			var jcap float64
+			if rng.Intn(2) == 0 {
+				jcap = rng.Float64() * cap * 1.5 // sometimes above capacity
+			}
+			submitAt := rng.Float64() * 4
+			cancelAt := submitAt + rng.Float64()*3
+			doCancel := rng.Intn(2) == 0
+			e.Schedule(submitAt, func() {
+				j := r.Submit(w, jcap, func() { processed += w })
+				if doCancel {
+					e.At(cancelAt, func() {
+						if j.Active() {
+							processed += w - j.Remaining()
+							j.Cancel()
+						}
+					})
+				}
+			})
+		}
+		e.Run()
+		if r.Active() != 0 {
+			return false
+		}
+		tol := 1e-6*float64(n) + 1e-6
+		if !almostEqual(r.rateIntegral, processed, tol) {
+			return false
+		}
+		// Utilization is the same integral normalized by capacity×elapsed.
+		if el := e.Now() - r.meterStart; el > 0 {
+			if !almostEqual(r.Utilization(), processed/(cap*el), tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Canceling events that share a timestamp — including from a callback firing
+// at that same instant — must suppress exactly the canceled events and keep
+// scheduling order for the survivors.
+func TestEngineCancelAtIdenticalTimestamps(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	note := func(i int) func() {
+		return func() { order = append(order, i) }
+	}
+	ev1 := e.At(5, note(1))
+	ev2 := e.At(5, note(2))
+	e.At(5, note(3))
+	var ev4 *Event
+	e.At(5, func() { e.Cancel(ev4) }) // cancels a not-yet-fired same-time event
+	ev4 = e.At(5, note(4))
+	e.At(5, note(5))
+	e.Cancel(ev2) // cancel before the timestamp is reached
+	e.Run()
+	want := []int{1, 3, 5}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Cancel after fire stays a harmless no-op even at shared timestamps.
+	e.Cancel(ev1)
+	e.Cancel(ev4)
+}

@@ -13,12 +13,14 @@ const workEps = 1e-9
 // recomputed by max-min fair sharing whenever the resource's job set changes.
 type Job struct {
 	res       *SharedResource
-	remaining float64
+	remaining float64 // work left as of syncT; live value via Remaining()
+	syncT     float64 // virtual time remaining refers to
 	cap       float64 // maximum rate this job can absorb; 0 means unlimited
 	rate      float64 // current allocated rate
 	done      func()
 	active    bool
-	infinite  bool // background load (hogs): never completes
+	infinite  bool   // background load (hogs): never completes
+	zero      *Event // pending completion event of a zero-work job
 	seq       int64
 }
 
@@ -39,8 +41,22 @@ func (j *Job) Cancel() {
 // Active reports whether the job is still submitted to its resource.
 func (j *Job) Active() bool { return j != nil && j.active }
 
-// Remaining returns the job's remaining work in resource units.
-func (j *Job) Remaining() float64 { return j.remaining }
+// Remaining returns the job's remaining work in resource units as of the
+// current virtual time. Progress is tracked lazily — a job's stored state is
+// only synced when its rate changes — so the live value is derived here.
+func (j *Job) Remaining() float64 {
+	if j == nil {
+		return 0
+	}
+	if !j.active || j.infinite || j.res == nil {
+		return j.remaining
+	}
+	rem := j.remaining - j.rate*(j.res.eng.Now()-j.syncT)
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
 
 // SharedResource models a contended resource (switch, NIC, disk, CPU) with a
 // fixed aggregate capacity in units per second. Concurrent jobs share the
@@ -50,14 +66,25 @@ func (j *Job) Remaining() float64 { return j.remaining }
 // This fluid-flow model reproduces the congestion phenomena the paper
 // observes (a saturated 1 GbE switch, EBS-volume contention, CPU/IO stress)
 // without simulating individual packets or context switches.
+//
+// Rates only change when the job set changes, so all bookkeeping is
+// incremental: jobs live in a cap-sorted slice maintained by binary
+// insertion, per-event meter accrual is O(1) from running totals, and the
+// single O(n) pass in reshare runs only on membership changes. The wake
+// event is coalesced — it is rescheduled only when the earliest projected
+// completion actually moves.
 type SharedResource struct {
-	eng      *Engine
-	name     string
-	capacity float64
-	jobs     map[*Job]struct{}
-	last     float64 // virtual time of the last state update
-	wake     *Event  // pending earliest-completion event
-	seq      int64
+	eng       *Engine
+	name      string
+	capacity  float64
+	jobs      []*Job  // active finite+background jobs, ascending (effCap, seq)
+	capSum    float64 // Σ effCap over jobs (demand meter)
+	totalRate float64 // Σ allocated rates (throughput meter)
+	last      float64 // virtual time of the last meter update
+	wake      *Event  // pending earliest-completion event
+	wakeAt    float64 // absolute time wake is armed for
+	wakeFn    func()  // cached wake callback (avoids a closure per arm)
+	seq       int64
 
 	// meters (time integrals since creation)
 	meterStart   float64
@@ -72,14 +99,19 @@ func NewSharedResource(eng *Engine, name string, capacity float64) *SharedResour
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}
-	return &SharedResource{
+	r := &SharedResource{
 		eng:        eng,
 		name:       name,
 		capacity:   capacity,
-		jobs:       make(map[*Job]struct{}),
 		last:       eng.Now(),
 		meterStart: eng.Now(),
 	}
+	r.wakeFn = func() {
+		r.wake = nil
+		r.advance()
+		r.reshare()
+	}
+	return r
 }
 
 // Name returns the resource's diagnostic name.
@@ -94,22 +126,26 @@ func (r *SharedResource) Active() int { return len(r.jobs) }
 // Submit enqueues work units to be processed, calling done on completion.
 // rateCap bounds the job's share (0 = unbounded). Zero or negative work
 // completes at the current instant via a scheduled event, preserving
-// callback ordering.
+// callback ordering; until that event fires the returned Job is a
+// first-class handle — Active() reports true and Cancel() withdraws the
+// pending callback — but it never contends for capacity.
 func (r *SharedResource) Submit(work, rateCap float64, done func()) *Job {
+	r.seq++
 	if work <= 0 {
-		j := &Job{res: r, remaining: 0, cap: rateCap, done: done}
-		r.eng.Schedule(0, func() {
-			if done != nil {
-				done()
+		j := &Job{res: r, cap: rateCap, done: done, active: true, seq: r.seq}
+		j.zero = r.eng.Schedule(0, func() {
+			j.zero = nil
+			j.active = false
+			if j.done != nil {
+				j.done()
 			}
 		})
 		return j
 	}
 	r.advance()
-	r.seq++
-	j := &Job{res: r, remaining: work, cap: rateCap, done: done, active: true, seq: r.seq}
-	r.jobs[j] = struct{}{}
-	r.reschedule()
+	j := &Job{res: r, remaining: work, syncT: r.eng.Now(), cap: rateCap, done: done, active: true, seq: r.seq}
+	r.insert(j)
+	r.reshare()
 	return j
 }
 
@@ -122,9 +158,9 @@ func (r *SharedResource) SubmitBackground(rateCap float64) *Job {
 	}
 	r.advance()
 	r.seq++
-	j := &Job{res: r, remaining: math.Inf(1), cap: rateCap, active: true, infinite: true, seq: r.seq}
-	r.jobs[j] = struct{}{}
-	r.reschedule()
+	j := &Job{res: r, remaining: math.Inf(1), syncT: r.eng.Now(), cap: rateCap, active: true, infinite: true, seq: r.seq}
+	r.insert(j)
+	r.reshare()
 	return j
 }
 
@@ -134,15 +170,66 @@ func (r *SharedResource) Remove(j *Job) {
 	if j == nil || !j.active {
 		return
 	}
+	if j.zero != nil {
+		r.eng.Cancel(j.zero)
+		j.zero = nil
+		j.active = false
+		return
+	}
 	r.advance()
-	delete(r.jobs, j)
+	if i := r.find(j); i >= 0 {
+		r.removeAt(i)
+	}
 	j.active = false
 	j.rate = 0
-	r.reschedule()
+	r.reshare()
 }
 
-// advance accrues progress for all jobs up to the current virtual time and
-// updates the meters. It does not complete jobs; reschedule does.
+// insert places j into the cap-sorted job slice and accrues its demand.
+func (r *SharedResource) insert(j *Job) {
+	c := j.effCap(r.capacity)
+	i := sort.Search(len(r.jobs), func(k int) bool {
+		ck := r.jobs[k].effCap(r.capacity)
+		if ck != c {
+			return ck > c
+		}
+		return r.jobs[k].seq > j.seq
+	})
+	r.jobs = append(r.jobs, nil)
+	copy(r.jobs[i+1:], r.jobs[i:])
+	r.jobs[i] = j
+	r.capSum += c
+}
+
+// find locates j in the cap-sorted slice by binary search on (effCap, seq).
+func (r *SharedResource) find(j *Job) int {
+	c := j.effCap(r.capacity)
+	i := sort.Search(len(r.jobs), func(k int) bool {
+		ck := r.jobs[k].effCap(r.capacity)
+		if ck != c {
+			return ck > c
+		}
+		return r.jobs[k].seq >= j.seq
+	})
+	if i < len(r.jobs) && r.jobs[i] == j {
+		return i
+	}
+	return -1
+}
+
+// removeAt deletes the job at index i, niling the vacated tail slot.
+func (r *SharedResource) removeAt(i int) {
+	j := r.jobs[i]
+	copy(r.jobs[i:], r.jobs[i+1:])
+	r.jobs[len(r.jobs)-1] = nil
+	r.jobs = r.jobs[:len(r.jobs)-1]
+	r.capSum -= j.effCap(r.capacity)
+}
+
+// advance accrues the meter integrals up to the current virtual time in
+// O(1) from the running totals. Per-job progress is NOT touched here: a
+// job's remaining work is derived lazily from (remaining, syncT, rate),
+// which stay exact because rates only change inside reshare.
 func (r *SharedResource) advance() {
 	now := r.eng.Now()
 	dt := now - r.last
@@ -150,71 +237,103 @@ func (r *SharedResource) advance() {
 		r.last = now
 		return
 	}
-	var totalRate, totalDemand float64
-	for j := range r.jobs {
-		if !j.infinite {
-			j.remaining -= j.rate * dt
-			if j.remaining < 0 {
-				j.remaining = 0
-			}
-		}
-		totalRate += j.rate
-		d := j.cap
-		if d == 0 || d > r.capacity {
-			d = r.capacity
-		}
-		totalDemand += d
-	}
-	r.rateIntegral += totalRate * dt
-	r.demandInt += totalDemand * dt
+	r.rateIntegral += r.totalRate * dt
+	r.demandInt += r.capSum * dt
 	if len(r.jobs) > 0 {
 		r.busyInt += dt
 	}
 	r.last = now
 }
 
-// reschedule recomputes max-min fair rates, completes any jobs that have
-// exhausted their work, and schedules the next completion event.
-func (r *SharedResource) reschedule() {
-	// Complete jobs drained by the preceding advance.
-	var finished []*Job
-	for j := range r.jobs {
-		if !j.infinite && j.remaining <= workEps {
-			finished = append(finished, j)
+// sync accrues j's progress at its current rate up to now, so the rate can
+// change without losing work done at the old rate.
+func (r *SharedResource) sync(j *Job, now float64) {
+	if !j.infinite {
+		j.remaining -= j.rate * (now - j.syncT)
+		if j.remaining < 0 {
+			j.remaining = 0
 		}
 	}
+	j.syncT = now
+}
+
+// reshare is the single O(n) step, run only on membership changes (submit,
+// remove, completion wake). It fuses three passes over the cap-sorted job
+// list: completing drained jobs, recomputing max-min fair rates, and
+// picking the next wake time.
+func (r *SharedResource) reshare() {
+	now := r.eng.Now()
+
+	// Collect jobs whose work is exhausted, keeping the rest in order.
+	var finished []*Job
+	kept := r.jobs[:0]
+	for _, j := range r.jobs {
+		if !j.infinite && j.remaining-j.rate*(now-j.syncT) <= workEps {
+			finished = append(finished, j)
+			continue
+		}
+		kept = append(kept, j)
+	}
 	if len(finished) > 0 {
-		sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+		for i := len(kept); i < len(r.jobs); i++ {
+			r.jobs[i] = nil
+		}
+		r.jobs = kept
 		for _, j := range finished {
-			delete(r.jobs, j)
+			r.capSum -= j.effCap(r.capacity)
+			j.remaining = 0
+			j.syncT = now
 			j.active = false
 			j.rate = 0
 		}
+		// Callbacks fire in submission order; finished was collected in
+		// (cap, seq) order.
+		sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
 	}
 
-	r.recomputeRates()
-
-	if r.wake != nil {
-		r.eng.Cancel(r.wake)
-		r.wake = nil
-	}
-	// Earliest completion among finite jobs.
+	// Max-min fair shares: ascending by cap, each job takes min(cap, equal
+	// split of what remains); surplus flows to later, less constrained jobs.
+	// Jobs whose rate actually changes are synced first so prior progress is
+	// accrued at the old rate. The earliest projected completion falls out
+	// of the same pass.
+	n := len(r.jobs)
+	left := r.capacity
+	total := 0.0
 	soonest := math.Inf(1)
-	for j := range r.jobs {
-		if j.infinite || j.rate <= 0 {
-			continue
+	for i, j := range r.jobs {
+		share := left / float64(n-i)
+		rate := j.effCap(r.capacity)
+		if rate > share {
+			rate = share
 		}
-		t := j.remaining / j.rate
-		if t < soonest {
-			soonest = t
+		if rate != j.rate {
+			r.sync(j, now)
+			j.rate = rate
+		}
+		left -= rate
+		total += rate
+		if !j.infinite && rate > 0 {
+			if t := j.syncT + j.remaining/rate; t < soonest {
+				soonest = t
+			}
 		}
 	}
-	if !math.IsInf(soonest, 1) {
-		r.wake = r.eng.Schedule(soonest, func() {
+	r.totalRate = total
+
+	// Re-arm the wake event only if its target moved (coalescing). When no
+	// rate changed, soonest is computed from the same floats as last time,
+	// so the comparison is exact.
+	if math.IsInf(soonest, 1) {
+		if r.wake != nil {
+			r.eng.Cancel(r.wake)
 			r.wake = nil
-			r.advance()
-			r.reschedule()
-		})
+		}
+	} else if r.wake == nil || r.wakeAt != soonest {
+		if r.wake != nil {
+			r.eng.Cancel(r.wake)
+		}
+		r.wakeAt = soonest
+		r.wake = r.eng.atReusable(soonest, r.wakeFn)
 	}
 
 	// Fire completion callbacks after internal state is consistent, so a
@@ -223,37 +342,6 @@ func (r *SharedResource) reschedule() {
 		if j.done != nil {
 			j.done()
 		}
-	}
-}
-
-// recomputeRates assigns each active job a max-min fair share of capacity,
-// honoring per-job caps: jobs are considered in ascending cap order; each
-// takes min(cap, remaining/|left|), releasing surplus to later jobs.
-func (r *SharedResource) recomputeRates() {
-	n := len(r.jobs)
-	if n == 0 {
-		return
-	}
-	js := make([]*Job, 0, n)
-	for j := range r.jobs {
-		js = append(js, j)
-	}
-	sort.Slice(js, func(a, b int) bool {
-		ca, cb := js[a].effCap(r.capacity), js[b].effCap(r.capacity)
-		if ca != cb {
-			return ca < cb
-		}
-		return js[a].seq < js[b].seq
-	})
-	left := r.capacity
-	for i, j := range js {
-		share := left / float64(n-i)
-		rate := j.effCap(r.capacity)
-		if rate > share {
-			rate = share
-		}
-		j.rate = rate
-		left -= rate
 	}
 }
 
