@@ -7,10 +7,16 @@
 // Usage:
 //
 //	hiway local -w wf.cf [-workdir DIR] [-workers N] [-bind name=path]
-//	hiway sim   -w wf.cf [-nodes N] [-policy fcfs|dataaware|roundrobin|heft]
-//	            [-input path=sizeMB ...] [-bind name=path] [-trace out.jsonl]
+//	hiway sim   -w wf.cf [-nodes N] [-policy fcfs|dataaware|roundrobin|heft|adaptive]
+//	            [-input path=sizeMB ...] [-bind name=path] [-prov out.jsonl]
+//	            [-trace out.json] [-metrics out.prom] [-decisions out.log]
 //	            [-chaos SPEC] [-chaos-seed N] [-timeout-floor SEC] [-speculate]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -trace writes a Chrome trace_event JSON timeline (open in chrome://tracing
+// or Perfetto), -metrics a Prometheus text snapshot, -decisions the
+// scheduler's per-decision log, and -prov the re-executable provenance
+// trace. See OBSERVABILITY.md for the full span and metric taxonomy.
 //
 // The language is detected from the file extension (.cf/.cuneiform, .dax/
 // .xml, .ga [Galaxy JSON], .jsonl/.trace) and can be forced with -lang.
@@ -35,6 +41,7 @@ import (
 	"hiway/internal/lang/galaxy"
 	"hiway/internal/lang/trace"
 	"hiway/internal/localexec"
+	"hiway/internal/obs"
 	"hiway/internal/provdb"
 	"hiway/internal/provenance"
 	"hiway/internal/recipes"
@@ -78,8 +85,9 @@ func usage() {
       run the workflow with real processes on this machine
 
   hiway sim -w WORKFLOW [-nodes N] [-policy P] [-lang L]
-            [-input path=sizeMB ...] [-bind name=path ...] [-trace FILE]
-            [-gantt] [-timeline FILE.csv]
+            [-input path=sizeMB ...] [-bind name=path ...] [-prov FILE.jsonl]
+            [-trace FILE.json] [-metrics FILE.prom] [-decisions FILE.log]
+            [-trace-sample N] [-gantt] [-timeline FILE.csv]
             [-cpuprofile FILE] [-memprofile FILE]
       run the workflow on a simulated YARN cluster
 
@@ -196,7 +204,11 @@ func runSim(args []string) error {
 	nodes := fs.Int("nodes", 8, "number of simulated worker nodes")
 	policy := fs.String("policy", scheduler.PolicyDataAware, "scheduling policy")
 	lang := fs.String("lang", "", "force workflow language")
-	tracePath := fs.String("trace", "", "write the provenance trace (re-executable) to this file")
+	provPath := fs.String("prov", "", "write the provenance trace (re-executable) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	metricsPath := fs.String("metrics", "", "write a Prometheus text metrics snapshot to this file")
+	decisionsPath := fs.String("decisions", "", "write the scheduler's per-decision log to this file")
+	traceSample := fs.Int("trace-sample", 1, "keep every Nth counter sample in the trace")
 	gantt := fs.Bool("gantt", false, "print a per-node text timeline after the run")
 	timelinePath := fs.String("timeline", "", "write the per-task timeline CSV to this file")
 	chaosSpec := fs.String("chaos", "", "chaos plan, e.g. 'crashrate=0.1;hang=bowtie2@0:1;kill=node-03@60'")
@@ -235,8 +247,8 @@ func runSim(args []string) error {
 		return err
 	}
 	var store provenance.Store = provenance.NewMemStore()
-	if *tracePath != "" {
-		fstore, err := provenance.OpenFileStore(*tracePath)
+	if *provPath != "" {
+		fstore, err := provenance.OpenFileStore(*provPath)
 		if err != nil {
 			return err
 		}
@@ -246,6 +258,19 @@ func runSim(args []string) error {
 	env.Prov, err = provenance.NewManager(store)
 	if err != nil {
 		return err
+	}
+
+	// Observability is built only when an output asks for it, so the default
+	// run keeps the nil-handle fast path everywhere.
+	var o *obs.Obs
+	if *tracePath != "" || *metricsPath != "" || *decisionsPath != "" {
+		o = obs.New(eng.Now)
+		if *traceSample > 1 {
+			o.T().SetSampleEvery(*traceSample)
+		}
+		env.Obs = o
+		env.RM.SetObs(o)
+		env.Prov.SetObs(o)
 	}
 	for _, in := range inputs {
 		path, szStr, ok := strings.Cut(in, "=")
@@ -260,7 +285,7 @@ func runSim(args []string) error {
 			return err
 		}
 	}
-	sched, err := scheduler.New(*policy, scheduler.Deps{Locality: env.FS, Estimator: env.Prov})
+	sched, err := scheduler.New(*policy, scheduler.Deps{Locality: env.FS, Estimator: env.Prov, Obs: o})
 	if err != nil {
 		return err
 	}
@@ -292,9 +317,33 @@ func runSim(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	rep, err := core.Run(env, driver, sched, cfg)
+	am, err := core.Launch(env, driver, sched, cfg)
 	if err != nil {
 		return err
+	}
+	if o != nil && !am.Finished() {
+		// Periodic counter samples on the virtual clock. The tick re-arms
+		// only while the workflow runs, so it never keeps the engine alive.
+		tr := o.T()
+		var tick func()
+		tick = func() {
+			if am.Finished() {
+				return
+			}
+			tr.Sample("sim", "event_queue_depth", float64(eng.Pending()))
+			tr.Sample("yarn", "running_containers", float64(env.RM.RunningContainers()))
+			tr.Sample("sched", "queued_tasks", float64(sched.Queued()))
+			eng.Schedule(1, tick)
+		}
+		eng.Schedule(1, tick)
+	}
+	eng.Run()
+	rep, err := am.Report()
+	if err != nil {
+		return err
+	}
+	if o != nil {
+		env.Cluster.RecordMetrics(o.M())
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -325,7 +374,41 @@ func runSim(args []string) error {
 		fmt.Println("timeline:", *timelinePath)
 	}
 	if *tracePath != "" {
-		fmt.Println("provenance trace:", *tracePath)
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.T().WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("trace:", *tracePath)
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.M().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("metrics:", *metricsPath)
+	}
+	if *decisionsPath != "" {
+		if err := os.WriteFile(*decisionsPath, []byte(o.D().Render()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("decisions:", *decisionsPath)
+	}
+	if *provPath != "" {
+		fmt.Println("provenance trace:", *provPath)
 	}
 	return nil
 }

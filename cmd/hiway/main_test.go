@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hiway/internal/provdb"
@@ -82,7 +84,7 @@ upper( inp: "words.txt" );`
 		t.Fatal(err)
 	}
 	tracePath := filepath.Join(dir, "run.jsonl")
-	err := runSim([]string{"-w", wfPath, "-nodes", "2", "-input", "words.txt=5", "-trace", tracePath})
+	err := runSim([]string{"-w", wfPath, "-nodes", "2", "-input", "words.txt=5", "-prov", tracePath})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,6 +104,75 @@ upper( inp: "words.txt" );`
 	}
 	if err := runSim([]string{"-w", wfPath, "-policy", "mystery", "-input", "words.txt=5"}); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestRunSimObservability exercises the -trace/-metrics/-decisions outputs:
+// the Chrome export must be valid JSON with the full span taxonomy, the
+// metrics snapshot must carry the core counters, and the decision log must
+// name the policy.
+func TestRunSimObservability(t *testing.T) {
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "demo.cf")
+	src := `deftask upper( out : inp ) @cpu 2 in bash *{ tr a-z A-Z < $inp > $out }*
+upper( inp: "words.txt" );`
+	if err := os.WriteFile(wfPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.json")
+	metricsPath := filepath.Join(dir, "run.prom")
+	decisionsPath := filepath.Join(dir, "decisions.log")
+	err := runSim([]string{"-w", wfPath, "-nodes", "2", "-input", "words.txt=5",
+		"-trace", tracePath, "-metrics", metricsPath, "-decisions", decisionsPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		cats[ev.Cat] = true
+	}
+	for _, want := range []string{"workflow", "task", "attempt", "container", "phase"} {
+		if !cats[want] {
+			t.Errorf("trace missing %q spans (cats: %v)", want, cats)
+		}
+	}
+
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE hiway_core_attempts_total counter",
+		"hiway_yarn_containers_allocated_total",
+		"hiway_yarn_allocation_latency_seconds_bucket",
+		"hiway_sched_assignments_total",
+		"hiway_sim_events_total",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics missing %q:\n%s", want, prom)
+		}
+	}
+
+	dec, err := os.ReadFile(decisionsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dec), "dataaware") {
+		t.Errorf("decision log missing policy name:\n%s", dec)
 	}
 }
 
@@ -185,7 +256,7 @@ t( x: "1" );`
 		t.Fatal(err)
 	}
 	tracePath := filepath.Join(dir, "run.jsonl")
-	if err := runSim([]string{"-w", wfPath, "-trace", tracePath}); err != nil {
+	if err := runSim([]string{"-w", wfPath, "-prov", tracePath}); err != nil {
 		t.Fatal(err)
 	}
 	if err := runProv([]string{"-trace", tracePath}); err != nil {

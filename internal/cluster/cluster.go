@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hiway/internal/obs"
 	"hiway/internal/sim"
 )
 
@@ -147,6 +148,22 @@ func New(eng *sim.Engine, cfg Config, specs []NodeSpec) (*Cluster, error) {
 		c.byID[id] = n
 	}
 	return c, nil
+}
+
+// RecordMetrics snapshots the cluster's kernel-level counters into the
+// registry: the engine's event totals and queue high-water mark, plus
+// per-resource fair-share recomputation (reshare) counts — the simulation
+// kernel's dominant cost driver. Call it once after the run, so the gauges
+// reflect final values.
+func (c *Cluster) RecordMetrics(reg *obs.Registry) {
+	reg.Gauge("hiway_sim_events_total", "simulation events executed").Set(float64(c.Engine.Processed()))
+	reg.Gauge("hiway_sim_event_queue_max_depth", "high-water mark of the pending event queue").Set(float64(c.Engine.MaxQueueDepth()))
+	reg.Gauge("hiway_sim_switch_reshares", "fair-share recomputations on the shared switch").Set(float64(c.Switch.Reshares()))
+	for _, n := range c.nodes {
+		total := n.CPU.Reshares() + n.Disk.Reshares() + n.NIC.Reshares()
+		reg.GaugeL("hiway_sim_node_reshares", "fair-share recomputations across a node's CPU, disk, and NIC",
+			"node", n.ID).Set(float64(total))
+	}
 }
 
 // Uniform builds a cluster of n identical nodes.

@@ -1,24 +1,3 @@
-// Package core implements the Hi-WAY application master (AM): the thin
-// layer between workflow specifications in multiple languages and (here,
-// simulated) Hadoop YARN described in §3 of the paper.
-//
-// One AM instance runs one workflow. Its Workflow Driver loop parses the
-// workflow, requests a worker container for every ready task, lets the
-// Workflow Scheduler pick which task runs in each allocated container, and
-// supervises the container lifecycle: (i) obtain input data from HDFS,
-// (ii) invoke the task, (iii) store outputs in HDFS for downstream tasks
-// possibly running on other nodes. Completed results feed back into the
-// driver, which — for iterative languages — may discover entirely new
-// tasks. Failed tasks are retried on other compute nodes; provenance is
-// emitted at workflow, task, and file granularity.
-//
-// The fault-tolerance layer adds: per-attempt deadlines derived from
-// provenance runtime estimates, after which an attempt is killed and
-// retried or raced against a speculative duplicate on another node; node
-// health reporting that feeds scheduler blacklists; chaos-driven fault
-// injection; an abrupt Kill (the AM process dying); and Resume, which
-// reconstructs completed work from the provenance store instead of
-// re-executing it.
 package core
 
 import (
@@ -30,6 +9,7 @@ import (
 	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/hdfs"
+	"hiway/internal/obs"
 	"hiway/internal/provenance"
 	"hiway/internal/scheduler"
 	"hiway/internal/sim"
@@ -43,6 +23,7 @@ type Env struct {
 	FS      *hdfs.FS
 	RM      *yarn.ResourceManager
 	Prov    *provenance.Manager // optional
+	Obs     *obs.Obs            // optional observability; nil disables every hook
 }
 
 // HealthReporter receives per-attempt node outcomes; the AM reports every
@@ -164,6 +145,7 @@ type attempt struct {
 
 	job   *sim.Job   // compute phase, cancellable
 	timer *sim.Event // pending deadline
+	span  obs.SpanID // attempt span, 0 when tracing is off
 
 	canceled bool // killed (timeout kill or superseded by a sibling)
 	lost     bool // hosting node died
@@ -201,6 +183,21 @@ type AM struct {
 	finished bool
 	killed   bool
 	report   *Report
+
+	// observability (all handles nil when Env.Obs is unset — every call
+	// below degrades to a nil-receiver no-op)
+	tr         *obs.Tracer
+	wfSpan     obs.SpanID
+	taskSpans  map[int64]obs.SpanID
+	attemptsC  *obs.Counter
+	completedC *obs.Counter
+	failuresC  *obs.Counter
+	timeoutsC  *obs.Counter
+	specC      *obs.Counter
+	specWinC   *obs.Counter
+	specLossC  *obs.Counter
+	recoveredC *obs.Counter
+	retriesC   *obs.Counter
 }
 
 // newAM builds the AM, submits its application, parses the workflow, and
@@ -218,7 +215,19 @@ func newAM(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*A
 		completed:  make(map[int64]bool),
 		retries:    make(map[int64]int),
 		excluded:   make(map[int64]map[string]bool),
+		taskSpans:  make(map[int64]obs.SpanID),
 	}
+	am.tr = env.Obs.T()
+	m := env.Obs.M()
+	am.attemptsC = m.Counter("hiway_core_attempts_total", "task attempts launched, incl. retries and speculation")
+	am.completedC = m.Counter("hiway_core_tasks_completed_total", "tasks with an accepted successful result")
+	am.failuresC = m.Counter("hiway_core_attempt_failures_total", "attempts that ended in failure")
+	am.timeoutsC = m.Counter("hiway_core_attempt_timeouts_total", "attempts that hit their deadline")
+	am.specC = m.Counter("hiway_core_speculative_launches_total", "speculative duplicate attempts launched")
+	am.specWinC = m.Counter("hiway_core_speculation_wins_total", "speculated tasks won by the duplicate attempt")
+	am.specLossC = m.Counter("hiway_core_speculation_losses_total", "speculated tasks won by the original attempt")
+	am.recoveredC = m.Counter("hiway_core_recovered_tasks_total", "tasks reconstructed from provenance by Resume")
+	am.retriesC = m.Counter("hiway_core_retries_total", "task retries after failed attempts")
 	if cfg.Health != nil {
 		if ha, ok := sched.(scheduler.HealthAware); ok {
 			if nh, ok := cfg.Health.(scheduler.NodeHealth); ok {
@@ -232,6 +241,7 @@ func newAM(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*A
 	}
 	am.app = app
 	am.start = env.Cluster.Engine.Now()
+	am.wfSpan = am.tr.Begin("workflow", cfg.WorkflowID, "workflow", 0)
 
 	ready, err := driver.Parse()
 	if err != nil {
@@ -355,6 +365,7 @@ func Resume(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config, st
 		frontier = next
 	}
 
+	am.recoveredC.Add(int64(am.recovered))
 	if env.Prov != nil {
 		_ = env.Prov.RecordWorkflowResume(cfg.WorkflowID, driver.Name(), env.Cluster.Engine.Now(), am.recovered)
 		// Resume is a durability boundary like Kill: the resume marker must
@@ -476,6 +487,7 @@ func (am *AM) Kill() {
 	}
 	am.finished = true
 	am.killed = true
+	am.tr.Instant("fault", "am-killed", "workflow")
 	eng := am.env.Cluster.Engine
 	ids := make([]int64, 0, len(am.attempts))
 	for id := range am.attempts {
@@ -542,6 +554,11 @@ func (am *AM) submit(t *wf.Task) {
 	if err := t.Validate(); err != nil {
 		am.finish(err)
 		return
+	}
+	if am.tr.Enabled() {
+		if _, ok := am.taskSpans[t.ID]; !ok {
+			am.taskSpans[t.ID] = am.tr.BeginAsync("task", t.Name, "tasks", am.wfSpan)
+		}
 	}
 	am.sched.OnTaskReady(t)
 	am.requestContainer(t)
@@ -731,6 +748,14 @@ func (am *AM) launchAttempt(t *wf.Task, c *yarn.Container, speculative bool) {
 	}
 	am.attempts[t.ID] = append(am.attempts[t.ID], a)
 	am.containers++
+	am.attemptsC.Inc()
+	if am.tr.Enabled() {
+		a.span = am.tr.Begin("attempt", t.Name, c.NodeID, am.taskSpans[t.ID])
+		am.tr.ArgInt(a.span, "attempt", int64(idx))
+		if speculative {
+			am.tr.Arg(a.span, "speculative", "true")
+		}
+	}
 	am.provTaskStart(t, c.NodeID, idx)
 
 	if d := am.attemptDeadline(t); d > 0 {
@@ -749,7 +774,9 @@ func (am *AM) launchAttempt(t *wf.Task, c *yarn.Container, speculative bool) {
 	}
 
 	stageInStart := eng.Now()
+	siSpan := am.tr.Begin("phase", "stage-in", c.NodeID, a.span)
 	am.env.FS.Read(c.NodeID, t.Inputs, func(err error) {
+		am.tr.End(siSpan)
 		if a.dead(am) {
 			am.app.Release(c)
 			return
@@ -775,7 +802,9 @@ func (am *AM) launchAttempt(t *wf.Task, c *yarn.Container, speculative bool) {
 			work = math.Inf(1)
 		}
 		execStart := eng.Now()
+		exSpan := am.tr.Begin("phase", "exec", c.NodeID, a.span)
 		a.job = am.env.Cluster.Compute(node, work, threads, func() {
+			am.tr.End(exSpan)
 			if a.dead(am) {
 				am.app.Release(c)
 				return
@@ -808,6 +837,7 @@ func (am *AM) launchAttempt(t *wf.Task, c *yarn.Container, speculative bool) {
 				am.onAttemptFinished(a, true)
 				return
 			}
+			soSpan := am.tr.Begin("phase", "stage-out", c.NodeID, a.span)
 			var writeErr error
 			for _, fi := range files {
 				am.env.FS.Write(c.NodeID, fi.Path, fi.SizeMB, func(err error) {
@@ -818,6 +848,7 @@ func (am *AM) launchAttempt(t *wf.Task, c *yarn.Container, speculative bool) {
 					if pending > 0 {
 						return
 					}
+					am.tr.End(soSpan)
 					if a.dead(am) {
 						am.app.Release(c)
 						return
@@ -847,6 +878,8 @@ func (am *AM) onAttemptTimeout(a *attempt) {
 		return
 	}
 	am.timedOut++
+	am.timeoutsC.Inc()
+	am.tr.Instant("fault", "attempt-timeout", a.res.Node)
 	t := a.t
 	if am.cfg.Health != nil {
 		am.cfg.Health.ReportFailure(a.res.Node)
@@ -854,6 +887,7 @@ func (am *AM) onAttemptTimeout(a *attempt) {
 	if am.cfg.Speculate && !am.speculated[t.ID] {
 		am.speculated[t.ID] = true
 		am.speculative++
+		am.specC.Inc()
 		avoid := map[string]bool{a.res.Node: true}
 		for n := range am.excluded[t.ID] {
 			avoid[n] = true
@@ -907,6 +941,8 @@ func (am *AM) cancelAttempt(a *attempt, reason string) {
 	a.res.End = eng.Now()
 	a.res.ExitCode = 137
 	a.res.Error = reason
+	am.tr.Arg(a.span, "canceled", "true")
+	am.tr.End(a.span)
 	am.provTaskEnd(a.res)
 	am.app.Release(a.c)
 }
@@ -939,6 +975,8 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 	}
 	am.removeAttempt(a)
 	am.app.Release(a.c)
+	am.tr.ArgInt(a.span, "exit", int64(a.res.ExitCode))
+	am.tr.End(a.span)
 	am.provTaskEnd(a.res)
 	if am.finished {
 		return
@@ -950,6 +988,18 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 			return
 		}
 		am.completed[t.ID] = true
+		am.completedC.Inc()
+		if am.speculated[t.ID] {
+			if a.res.Speculative {
+				am.specWinC.Inc()
+			} else {
+				am.specLossC.Inc()
+			}
+		}
+		if ts, open := am.taskSpans[t.ID]; open {
+			am.tr.End(ts)
+			delete(am.taskSpans, t.ID)
+		}
 		if am.cfg.Health != nil {
 			am.cfg.Health.ReportSuccess(a.res.Node)
 		}
@@ -976,6 +1026,7 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 	}
 
 	// Failure (crash, stage-in/out error, node loss, or timeout kill).
+	am.failuresC.Inc()
 	if am.cfg.Health != nil {
 		am.cfg.Health.ReportFailure(a.res.Node)
 	}
@@ -985,6 +1036,7 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 	}
 	am.retries[t.ID]++
 	am.retriesSum++
+	am.retriesC.Inc()
 	if am.retries[t.ID] > am.cfg.MaxRetries {
 		am.results = append(am.results, a.res)
 		am.finish(fmt.Errorf("core: task %s failed %d times (last on %s): %s",
@@ -1070,6 +1122,12 @@ func (am *AM) finish(err error) {
 		}
 		delete(am.attempts, id)
 	}
+	if err == nil {
+		am.tr.Arg(am.wfSpan, "succeeded", "true")
+	} else {
+		am.tr.Arg(am.wfSpan, "succeeded", "false")
+	}
+	am.tr.End(am.wfSpan)
 	am.provWorkflowEnd(err == nil)
 	// Workflow completion is a durability boundary: hand buffered
 	// provenance to the store before the AM goes away.

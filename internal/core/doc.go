@@ -1,0 +1,30 @@
+// Package core implements the Hi-WAY application master (AM): the thin
+// layer between workflow specifications in multiple languages and (here,
+// simulated) Hadoop YARN described in §3 of the paper.
+//
+// One AM instance runs one workflow. Its Workflow Driver loop parses the
+// workflow, requests a worker container for every ready task, lets the
+// Workflow Scheduler pick which task runs in each allocated container, and
+// supervises the container lifecycle: (i) obtain input data from HDFS,
+// (ii) invoke the task, (iii) store outputs in HDFS for downstream tasks
+// possibly running on other nodes. Completed results feed back into the
+// driver, which — for iterative languages — may discover entirely new
+// tasks. Failed tasks are retried on other compute nodes; provenance is
+// emitted at workflow, task, and file granularity.
+//
+// The fault-tolerance layer adds: per-attempt deadlines derived from
+// provenance runtime estimates, after which an attempt is killed and
+// retried or raced against a speculative duplicate on another node; node
+// health reporting that feeds scheduler blacklists; chaos-driven fault
+// injection; an abrupt Kill (the AM process dying); and Resume, which
+// reconstructs completed work from the provenance store instead of
+// re-executing it.
+//
+// When Env.Obs is set the AM emits the span hierarchy that OBSERVABILITY.md
+// documents — a workflow span, an async span per task, an attempt span per
+// container execution with stage-in/exec/stage-out phase children, and
+// fault instants for timeouts and kills — alongside the hiway_core_*
+// counters (attempts, completions, failures, timeouts, retries,
+// speculation launches/wins/losses, recovered tasks). A nil Env.Obs
+// disables every hook.
+package core

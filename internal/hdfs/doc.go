@@ -1,0 +1,11 @@
+// Package hdfs simulates the Hadoop Distributed File System as seen by a
+// workflow engine: files split into blocks, each block replicated across
+// nodes, writer-local first-replica placement, and locality metadata that
+// Hi-WAY's data-aware scheduler queries to place tasks near their input.
+//
+// The package also simulates the I/O itself on the cluster model: local
+// block reads go through the node's disk, remote block reads through the
+// shared switch, writes pipeline replicas to other nodes, and files marked
+// external (the paper's S3 bucket) are fetched over the node NIC without
+// crossing the cluster switch.
+package hdfs

@@ -1,0 +1,46 @@
+package obs
+
+// Obs bundles the three observability facilities that instrumented
+// components share: the span tracer, the metrics registry, and the
+// scheduler decision log. A nil *Obs is the disabled state; T, M, and D
+// then return nil handles whose methods are all no-ops.
+type Obs struct {
+	Tracer    *Tracer
+	Metrics   *Registry
+	Decisions *DecisionLog
+}
+
+// New returns a fully enabled observability bundle. clock supplies the
+// current time in seconds — the simulator passes its virtual clock, so
+// traces and decision logs are deterministic across runs.
+func New(clock func() float64) *Obs {
+	return &Obs{
+		Tracer:    NewTracer(clock),
+		Metrics:   NewRegistry(),
+		Decisions: NewDecisionLog(clock),
+	}
+}
+
+// T returns the tracer, or nil when o is nil (disabled).
+func (o *Obs) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// M returns the metrics registry, or nil when o is nil (disabled).
+func (o *Obs) M() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// D returns the decision log, or nil when o is nil (disabled).
+func (o *Obs) D() *DecisionLog {
+	if o == nil {
+		return nil
+	}
+	return o.Decisions
+}

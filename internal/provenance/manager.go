@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"hiway/internal/obs"
 	"hiway/internal/wf"
 )
 
@@ -37,6 +38,18 @@ type Manager struct {
 
 	taskCount     int64
 	workflowCount int64
+
+	// observability (nil handles until SetObs — no-ops)
+	eventsC  *obs.Counter
+	flushesC *obs.Counter
+}
+
+// SetObs registers provenance throughput counters with the registry:
+// events recorded and store flushes performed.
+func (m *Manager) SetObs(o *obs.Obs) {
+	reg := o.M()
+	m.eventsC = reg.Counter("hiway_prov_events_total", "provenance events recorded")
+	m.flushesC = reg.Counter("hiway_prov_flushes_total", "buffered provenance batches handed to the store")
 }
 
 // NewManager creates a manager over the given store. Existing events in the
@@ -82,6 +95,7 @@ func (m *Manager) Record(ev Event) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.index(ev)
+	m.eventsC.Inc()
 	m.buf = append(m.buf, ev)
 	if len(m.buf) >= flushEvery {
 		return m.flushLocked()
@@ -102,6 +116,7 @@ func (m *Manager) flushLocked() error {
 	if len(m.buf) == 0 {
 		return nil
 	}
+	m.flushesC.Inc()
 	buf := m.buf
 	m.buf = m.buf[:0]
 	if ba, ok := m.store.(BatchAppender); ok {

@@ -1,6 +1,9 @@
 package scheduler
 
-import "hiway/internal/wf"
+import (
+	"hiway/internal/obs"
+	"hiway/internal/wf"
+)
 
 // agEntry is one queued task plus its global arrival sequence number, used
 // to preserve FCFS tie-breaking across signature buckets.
@@ -57,6 +60,7 @@ type agAdv struct {
 // the estimator reports a new observation for the signature.
 type AdaptiveGreedy struct {
 	healthGate
+	obsSink
 	est  Estimator
 	ver  EstimateVersioner // nil → no memoization
 	sigs map[string]*agBucket
@@ -122,16 +126,22 @@ func (s *AdaptiveGreedy) Placement(*wf.Task) (string, bool) { return "", false }
 // O(distinct signatures). The map iteration order is irrelevant because
 // (advantage, seq) is a total order.
 func (s *AdaptiveGreedy) Select(node string) *wf.Task {
-	if s.n == 0 || !s.nodeOK(node) {
+	if s.n == 0 {
+		return nil
+	}
+	if !s.nodeOK(node) {
+		s.noteDecline(s.Name(), node, obs.OutcomeBlacklist, s.n, 0)
 		return nil
 	}
 	var bestB *agBucket
 	var bestSeq int64
 	bestAdv := 0.0
+	scanned := 0
 	for sig, b := range s.sigs {
 		if b.empty() {
 			continue
 		}
+		scanned++
 		adv := s.advantage(sig, node)
 		head := b.peek()
 		if bestB == nil || adv > bestAdv || (adv == bestAdv && head.seq < bestSeq) {
@@ -144,10 +154,12 @@ func (s *AdaptiveGreedy) Select(node string) *wf.Task {
 	t := bestB.peek().t
 	if s.declineBudget > 0 && s.shouldDecline(t, node) {
 		s.declineBudget--
+		s.noteDecline(s.Name(), node, obs.OutcomeDecline, s.n, scanned)
 		return nil
 	}
 	bestB.pop()
 	s.n--
+	s.noteAssign(s.Name(), node, t, s.n+1, scanned, -1)
 	return t
 }
 

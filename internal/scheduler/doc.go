@@ -1,0 +1,27 @@
+// Package scheduler implements Hi-WAY's Workflow Scheduler policies (§3.4):
+//
+//   - FCFS: first-come-first-served queueing, the baseline most SWfMSs use;
+//   - data-aware (Hi-WAY's default): when a container is allocated, pick the
+//     pending task with the highest fraction of input data already local to
+//     the hosting node;
+//   - static round-robin: pre-assign tasks to nodes in turn;
+//   - static HEFT: heterogeneous-earliest-finish-time planning driven by
+//     runtime estimates from the Provenance Manager, with a default estimate
+//     of zero for untried task/node pairs to encourage exploration;
+//   - adaptive-greedy: online per-signature/node runtime averaging that
+//     declines containers on nodes observed to be slow for the queued work.
+//
+// Every policy also consults per-node health reports: containers on
+// blacklisted (unhealthy) nodes are declined before the policy's own logic
+// runs, which is how AM-level fault detection steers placement.
+//
+// This higher-level scheduler is distinct from YARN's internal schedulers:
+// it decides which *task* runs in an allocated container, and (for static
+// policies) on which node containers must be placed.
+//
+// Policies that embed obsSink (all of them) record one Decision per Select
+// call — assign, decline, or blacklist, with queue depth, candidates
+// scanned, and the chosen task's locality fraction — plus the
+// hiway_sched_* counters. The hooks are nil-receiver no-ops until
+// Deps.Obs wires an observer in.
+package scheduler

@@ -1,22 +1,9 @@
-// Package scheduler implements Hi-WAY's Workflow Scheduler policies (§3.4):
-//
-//   - FCFS: first-come-first-served queueing, the baseline most SWfMSs use;
-//   - data-aware (Hi-WAY's default): when a container is allocated, pick the
-//     pending task with the highest fraction of input data already local to
-//     the hosting node;
-//   - static round-robin: pre-assign tasks to nodes in turn;
-//   - static HEFT: heterogeneous-earliest-finish-time planning driven by
-//     runtime estimates from the Provenance Manager, with a default estimate
-//     of zero for untried task/node pairs to encourage exploration.
-//
-// This higher-level scheduler is distinct from YARN's internal schedulers:
-// it decides which *task* runs in an allocated container, and (for static
-// policies) on which node containers must be placed.
 package scheduler
 
 import (
 	"fmt"
 
+	"hiway/internal/obs"
 	"hiway/internal/wf"
 )
 
@@ -96,6 +83,10 @@ type Reassigner interface {
 type Deps struct {
 	Locality  LocalityOracle
 	Estimator Estimator
+	// Obs, when set, makes every policy record its per-decision trace
+	// (policy, candidates considered, locality outcome, blacklist hits)
+	// into the decision log and metrics registry.
+	Obs *obs.Obs
 }
 
 // Policy names accepted by New.
@@ -108,31 +99,93 @@ const (
 )
 
 // New builds a scheduler by policy name. The data-aware policy requires a
-// locality oracle; HEFT requires an estimator.
+// locality oracle; HEFT and adaptive-greedy require an estimator.
 func New(policy string, deps Deps) (Scheduler, error) {
+	var s Scheduler
 	switch policy {
 	case PolicyFCFS, "greedy", "":
-		return NewFCFS(), nil
+		s = NewFCFS()
 	case PolicyDataAware:
 		if deps.Locality == nil {
 			return nil, fmt.Errorf("scheduler: data-aware policy needs a locality oracle")
 		}
-		return NewDataAware(deps.Locality), nil
+		s = NewDataAware(deps.Locality)
 	case PolicyRoundRobin:
-		return NewRoundRobin(), nil
+		s = NewRoundRobin()
 	case PolicyHEFT:
 		if deps.Estimator == nil {
 			return nil, fmt.Errorf("scheduler: HEFT policy needs a runtime estimator")
 		}
-		return NewHEFT(deps.Estimator), nil
+		s = NewHEFT(deps.Estimator)
 	case PolicyAdaptiveGreedy:
 		if deps.Estimator == nil {
 			return nil, fmt.Errorf("scheduler: adaptive-greedy policy needs a runtime estimator")
 		}
-		return NewAdaptiveGreedy(deps.Estimator), nil
+		s = NewAdaptiveGreedy(deps.Estimator)
 	default:
 		return nil, fmt.Errorf("scheduler: unknown policy %q", policy)
 	}
+	if deps.Obs != nil {
+		if oa, ok := s.(ObsAware); ok {
+			oa.SetObs(deps.Obs)
+		}
+	}
+	return s, nil
+}
+
+// ObsAware is implemented by schedulers that can record per-decision
+// observability. Every policy in this package implements it via obsSink.
+type ObsAware interface {
+	SetObs(o *obs.Obs)
+}
+
+// obsSink is the shared observability hook embedded in every policy: a
+// decision log plus decision-outcome counters. All handles are nil until
+// SetObs, so uninstrumented schedulers pay only nil checks.
+type obsSink struct {
+	dec        *obs.DecisionLog
+	assignsC   *obs.Counter
+	declinesC  *obs.Counter
+	blacklistC *obs.Counter
+	localC     *obs.Counter
+}
+
+// SetObs implements ObsAware.
+func (s *obsSink) SetObs(o *obs.Obs) {
+	s.dec = o.D()
+	m := o.M()
+	s.assignsC = m.Counter("hiway_sched_assignments_total", "tasks handed to allocated containers")
+	s.declinesC = m.Counter("hiway_sched_declines_total", "containers declined by the policy (non-blacklist)")
+	s.blacklistC = m.Counter("hiway_sched_blacklist_declines_total", "containers declined because the node was blacklisted")
+	s.localC = m.Counter("hiway_sched_local_assignments_total", "assignments with positive input locality on the hosting node")
+}
+
+// noteAssign records one task→container binding. frac is the input-locality
+// fraction of the choice on the node, or -1 when the policy did not
+// consider locality.
+func (s *obsSink) noteAssign(policy, node string, t *wf.Task, queued, scanned int, frac float64) {
+	s.assignsC.Inc()
+	if frac > 0 {
+		s.localC.Inc()
+	}
+	s.dec.Record(obs.Decision{
+		Policy: policy, Node: node, Outcome: obs.OutcomeAssign,
+		Task: t.Name, TaskID: t.ID, Queued: queued, Scanned: scanned, LocalFrac: frac,
+	})
+}
+
+// noteDecline records a declined container: outcome obs.OutcomeBlacklist
+// when the health gate rejected the node, obs.OutcomeDecline otherwise.
+func (s *obsSink) noteDecline(policy, node, outcome string, queued, scanned int) {
+	if outcome == obs.OutcomeBlacklist {
+		s.blacklistC.Inc()
+	} else {
+		s.declinesC.Inc()
+	}
+	s.dec.Record(obs.Decision{
+		Policy: policy, Node: node, Outcome: outcome,
+		Queued: queued, Scanned: scanned, LocalFrac: -1,
+	})
 }
 
 // healthGate is the shared NodeHealth hook: a nil health means every node
@@ -155,6 +208,7 @@ func (g *healthGate) nodeOK(node string) bool {
 // and the buffer is reclaimed once drained or mostly stale.
 type FCFS struct {
 	healthGate
+	obsSink
 	queue []*wf.Task
 	head  int
 }
@@ -174,9 +228,14 @@ func (s *FCFS) Placement(*wf.Task) (string, bool) { return "", false }
 // Select implements Scheduler: pop the head of the queue. Containers on
 // blacklisted nodes are declined (nil) so the AM re-requests elsewhere.
 func (s *FCFS) Select(node string) *wf.Task {
-	if s.head >= len(s.queue) || !s.nodeOK(node) {
+	if s.head >= len(s.queue) {
 		return nil
 	}
+	if !s.nodeOK(node) {
+		s.noteDecline(PolicyFCFS, node, obs.OutcomeBlacklist, s.Queued(), 0)
+		return nil
+	}
+	queued := s.Queued()
 	t := s.queue[s.head]
 	s.queue[s.head] = nil
 	s.head++
@@ -187,6 +246,7 @@ func (s *FCFS) Select(node string) *wf.Task {
 		s.queue = append(s.queue[:0], s.queue[s.head:]...)
 		s.head = 0
 	}
+	s.noteAssign(PolicyFCFS, node, t, queued, 1, -1)
 	return t
 }
 
@@ -222,6 +282,7 @@ type daScored struct {
 // re-replication — rare), and stale entries are dropped lazily.
 type DataAware struct {
 	healthGate
+	obsSink
 	locality LocalityOracle
 	cand     CandidateOracle // nil → linear-scan fallback
 
@@ -229,9 +290,9 @@ type DataAware struct {
 	queue []*wf.Task
 
 	// indexed fast-path state
-	queued  map[int64]*daEntry   // task ID → live entry
-	fifo    []*daEntry           // arrival order (zero-locality fallback)
-	head    int                  // first possibly-live fifo slot
+	queued  map[int64]*daEntry // task ID → live entry
+	fifo    []*daEntry         // arrival order (zero-locality fallback)
+	head    int                // first possibly-live fifo slot
 	buckets map[string][]daScored
 	epoch   uint64
 	seq     int64
@@ -302,13 +363,19 @@ func (s *DataAware) Select(node string) *wf.Task {
 		return s.selectScan(node)
 	}
 	s.maybeInvalidate()
-	if len(s.queued) == 0 || !s.nodeOK(node) {
+	if len(s.queued) == 0 {
 		return nil
 	}
+	if !s.nodeOK(node) {
+		s.noteDecline(PolicyDataAware, node, obs.OutcomeBlacklist, len(s.queued), 0)
+		return nil
+	}
+	queuedBefore := len(s.queued)
 	// Best positive-locality candidate from this node's bucket, compacting
 	// stale entries in place as we scan. Ties go to the earliest arrival.
 	var best *daEntry
 	bestFrac := 0.0
+	scanned := 0
 	b := s.buckets[node]
 	w := 0
 	for _, sc := range b {
@@ -317,6 +384,7 @@ func (s *DataAware) Select(node string) *wf.Task {
 		}
 		b[w] = sc
 		w++
+		scanned++
 		if sc.frac > bestFrac || (sc.frac == bestFrac && best != nil && sc.e.seq < best.seq) {
 			best, bestFrac = sc.e, sc.frac
 		}
@@ -330,10 +398,12 @@ func (s *DataAware) Select(node string) *wf.Task {
 	if best == nil {
 		// No local data anywhere on this node: plain arrival order, exactly
 		// what the linear scan degenerates to when every fraction is zero.
+		bestFrac = 0
 		for s.head < len(s.fifo) {
 			e := s.fifo[s.head]
 			s.fifo[s.head] = nil
 			s.head++
+			scanned++
 			if e != nil && s.queued[e.t.ID] == e {
 				best = e
 				break
@@ -348,14 +418,20 @@ func (s *DataAware) Select(node string) *wf.Task {
 		}
 	}
 	delete(s.queued, best.t.ID)
+	s.noteAssign(PolicyDataAware, node, best.t, queuedBefore, scanned, bestFrac)
 	return best.t
 }
 
 // selectScan is the O(queue) fallback for plain locality oracles.
 func (s *DataAware) selectScan(node string) *wf.Task {
-	if len(s.queue) == 0 || !s.nodeOK(node) {
+	if len(s.queue) == 0 {
 		return nil
 	}
+	if !s.nodeOK(node) {
+		s.noteDecline(PolicyDataAware, node, obs.OutcomeBlacklist, len(s.queue), 0)
+		return nil
+	}
+	queuedBefore := len(s.queue)
 	best, bestFrac := 0, -1.0
 	for i, t := range s.queue {
 		frac := s.locality.LocalFraction(t.Inputs, node)
@@ -367,6 +443,7 @@ func (s *DataAware) selectScan(node string) *wf.Task {
 	copy(s.queue[best:], s.queue[best+1:])
 	s.queue[len(s.queue)-1] = nil
 	s.queue = s.queue[:len(s.queue)-1]
+	s.noteAssign(PolicyDataAware, node, t, queuedBefore, queuedBefore, bestFrac)
 	return t
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"hiway/internal/obs"
 	"hiway/internal/wf"
 )
 
@@ -14,6 +15,7 @@ import (
 // tasks, and strict container placement.
 type staticBase struct {
 	healthGate
+	obsSink
 	policy     string
 	assignment map[int64]string // task ID → node
 	order      map[int64]int    // task ID → dispatch priority (lower first)
@@ -55,14 +57,20 @@ func (s *staticBase) Placement(t *wf.Task) (string, bool) {
 // Select implements Scheduler: only tasks planned for this node qualify.
 func (s *staticBase) Select(node string) *wf.Task {
 	q := s.ready[node]
-	if len(q) == 0 || !s.nodeOK(node) {
+	if len(q) == 0 {
 		return nil
 	}
+	if !s.nodeOK(node) {
+		s.noteDecline(s.policy, node, obs.OutcomeBlacklist, s.queued, 0)
+		return nil
+	}
+	queuedBefore := s.queued
 	t := q[0]
 	copy(q, q[1:])
 	q[len(q)-1] = nil
 	s.ready[node] = q[:len(q)-1]
 	s.queued--
+	s.noteAssign(s.policy, node, t, queuedBefore, 1, -1)
 	return t
 }
 

@@ -1,14 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// The kernel consists of an Engine that maintains a virtual clock and an
-// ordered event queue, and a SharedResource that models contended,
-// processor-sharing resources such as network switches, NICs, disks, and
-// multi-core CPUs using a fluid-flow (max-min fair) model.
-//
-// All higher-level substrates in this repository (the simulated HDFS and
-// YARN, the cluster hardware model) are built on this package. Determinism
-// is guaranteed: events scheduled for the same instant fire in scheduling
-// order, and no wall-clock time or global randomness is consulted.
 package sim
 
 import (
@@ -33,11 +22,12 @@ func (ev *Event) Time() float64 { return ev.at }
 // Engine is a discrete-event simulation engine with a virtual clock
 // measured in seconds. The zero value is not usable; call NewEngine.
 type Engine struct {
-	now    float64
-	seq    int64
-	queue  eventHeap
-	events int64    // total events executed, for diagnostics
-	free   []*Event // pool of recycled reusable events
+	now      float64
+	seq      int64
+	queue    eventHeap
+	events   int64    // total events executed, for diagnostics
+	maxDepth int      // high-water mark of the event queue, for observability
+	free     []*Event // pool of recycled reusable events
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -50,6 +40,11 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() int64 { return e.events }
+
+// MaxQueueDepth returns the high-water mark of the event queue — the most
+// events that were ever pending at once. The observability layer exports it
+// as a gauge; it bounds the kernel's O(log n) heap cost for the run.
+func (e *Engine) MaxQueueDepth() int { return e.maxDepth }
 
 // Schedule enqueues fn to run delay seconds from now. A negative delay is
 // treated as zero. The returned event may be canceled with Cancel.
@@ -72,6 +67,9 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	e.seq++
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	heap.Push(&e.queue, ev)
+	if n := len(e.queue); n > e.maxDepth {
+		e.maxDepth = n
+	}
 	return ev
 }
 
@@ -95,6 +93,9 @@ func (e *Engine) atReusable(t float64, fn func()) *Event {
 	}
 	ev.at, ev.seq, ev.fn, ev.reusable = t, e.seq, fn, true
 	heap.Push(&e.queue, ev)
+	if n := len(e.queue); n > e.maxDepth {
+		e.maxDepth = n
+	}
 	return ev
 }
 

@@ -85,6 +85,7 @@ type SharedResource struct {
 	wakeAt    float64 // absolute time wake is armed for
 	wakeFn    func()  // cached wake callback (avoids a closure per arm)
 	seq       int64
+	reshares  int64 // rate recomputations, exported by the observability layer
 
 	// meters (time integrals since creation)
 	meterStart   float64
@@ -262,6 +263,7 @@ func (r *SharedResource) sync(j *Job, now float64) {
 // list: completing drained jobs, recomputing max-min fair rates, and
 // picking the next wake time.
 func (r *SharedResource) reshare() {
+	r.reshares++
 	now := r.eng.Now()
 
 	// Collect jobs whose work is exhausted, keeping the rest in order.
@@ -397,6 +399,12 @@ func (r *SharedResource) BusyFraction() float64 {
 	}
 	return r.busyInt / dur
 }
+
+// Reshares returns how many times the resource recomputed its max-min fair
+// rates — the kernel's dominant O(n) cost, counted for the observability
+// layer. One reshare per job-set change is the design target; a number far
+// above (submits + removals + completions) signals a wake-coalescing bug.
+func (r *SharedResource) Reshares() int64 { return r.reshares }
 
 // ResetMeters restarts utilization accounting from the current instant.
 func (r *SharedResource) ResetMeters() {

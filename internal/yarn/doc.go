@@ -1,0 +1,18 @@
+// Package yarn simulates the Hadoop YARN resource management layer as seen
+// by an application master (AM): a ResourceManager that tracks per-node
+// capacity through NodeManagers, allocates containers (a fixed bundle of
+// virtual cores and memory) against queued requests, honors node placement
+// hints (relaxed or strict, the latter used by static workflow schedulers),
+// and notifies applications when nodes are lost.
+//
+// Hi-WAY is "yet another application master for YARN"; this package is the
+// counterpart protocol it talks to. One application is submitted per
+// workflow, mirroring the paper's one-AM-per-workflow design (§3.1).
+//
+// When observability is enabled (RM.SetObs), the ResourceManager emits a
+// container span per allocation on the hosting node's track and maintains
+// the hiway_yarn_* metric family: request/allocation/loss counters,
+// per-node allocation counts, and an allocation-latency histogram in
+// virtual seconds. With no observer attached every hook is a nil-receiver
+// no-op.
+package yarn

@@ -1,20 +1,12 @@
-// Package yarn simulates the Hadoop YARN resource management layer as seen
-// by an application master (AM): a ResourceManager that tracks per-node
-// capacity through NodeManagers, allocates containers (a fixed bundle of
-// virtual cores and memory) against queued requests, honors node placement
-// hints (relaxed or strict, the latter used by static workflow schedulers),
-// and notifies applications when nodes are lost.
-//
-// Hi-WAY is "yet another application master for YARN"; this package is the
-// counterpart protocol it talks to. One application is submitted per
-// workflow, mirroring the paper's one-AM-per-workflow design (§3.1).
 package yarn
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"hiway/internal/cluster"
+	"hiway/internal/obs"
 	"hiway/internal/sim"
 )
 
@@ -45,6 +37,7 @@ type Container struct {
 	OnLost func()
 
 	released bool
+	span     obs.SpanID // container span (allocate → release), 0 when obs is off
 }
 
 // Request asks the ResourceManager for one container.
@@ -103,6 +96,7 @@ type pendingReq struct {
 	req  Request
 	onOK func(*Container)
 	seq  int64
+	at   float64 // request arrival time, for allocation-latency metrics
 }
 
 // ResourceManager allocates containers over the simulated cluster.
@@ -122,6 +116,35 @@ type ResourceManager struct {
 
 	// statistics
 	Allocated int64 // total containers ever allocated (incl. AMs)
+
+	// observability (nil handles when disabled — all no-ops)
+	obs         *obs.Obs
+	requestsC   *obs.Counter
+	allocatedC  *obs.Counter
+	lostC       *obs.Counter
+	killedC     *obs.Counter
+	allocLatH   *obs.Histogram
+	nodeAllocCs map[string]*obs.Counter // per-node allocation counters
+}
+
+// SetObs attaches the observability layer: container spans on per-node
+// tracks, request→allocate latency, and per-node allocation counters. Call
+// before submitting applications; a nil o (the default) disables all of it.
+func (rm *ResourceManager) SetObs(o *obs.Obs) {
+	rm.obs = o
+	m := o.M()
+	rm.requestsC = m.Counter("hiway_yarn_requests_total", "container requests queued at the RM")
+	rm.allocatedC = m.Counter("hiway_yarn_containers_allocated_total", "containers allocated (incl. AM containers)")
+	rm.lostC = m.Counter("hiway_yarn_containers_lost_total", "running containers lost to node failures")
+	rm.killedC = m.Counter("hiway_yarn_nodes_killed_total", "nodes failed during the run")
+	rm.allocLatH = m.Histogram("hiway_yarn_allocation_latency_seconds",
+		"virtual seconds from container request to allocation",
+		[]float64{0.25, 0.5, 1, 2, 5, 10, 30, 60, 120})
+	rm.nodeAllocCs = make(map[string]*obs.Counter, len(rm.order))
+	for _, id := range rm.order {
+		rm.nodeAllocCs[id] = m.CounterL("hiway_yarn_node_containers_total",
+			"containers allocated per node", "node", id)
+	}
 }
 
 // NewResourceManager builds an RM over the cluster's nodes.
@@ -196,7 +219,8 @@ func (a *Application) Request(req Request, onAllocated func(*Container)) {
 		req.Resource.MemMB = 1024
 	}
 	a.rm.nextSeq++
-	a.rm.pending = append(a.rm.pending, &pendingReq{app: a, req: req, onOK: onAllocated, seq: a.rm.nextSeq})
+	a.rm.requestsC.Inc()
+	a.rm.pending = append(a.rm.pending, &pendingReq{app: a, req: req, onOK: onAllocated, seq: a.rm.nextSeq, at: a.rm.eng.Now()})
 	a.rm.kick()
 }
 
@@ -219,6 +243,7 @@ func (a *Application) Release(c *Container) {
 		return
 	}
 	c.released = true
+	a.rm.obs.T().End(c.span)
 	nm := a.rm.nms[c.NodeID]
 	if nm != nil {
 		delete(nm.running, c.ID)
@@ -275,6 +300,7 @@ func (rm *ResourceManager) allocate() {
 			continue
 		}
 		c := rm.allocateOn(nm, p.app, p.req.Resource)
+		rm.allocLatH.Observe(rm.eng.Now() - p.at)
 		taken[p] = true
 		satisfied = append(satisfied, p)
 		containers = append(containers, c)
@@ -354,6 +380,13 @@ func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Res
 	rm.Allocated++
 	c := &Container{ID: rm.nextContainer, NodeID: nm.id, Resource: res, AppID: app.ID}
 	nm.running[c.ID] = c
+	rm.allocatedC.Inc()
+	rm.nodeAllocCs[nm.id].Inc()
+	if tr := rm.obs.T(); tr.Enabled() {
+		c.span = tr.Begin("container", "c"+strconv.FormatInt(c.ID, 10), nm.id, 0)
+		tr.ArgInt(c.span, "vcores", int64(res.VCores))
+		tr.ArgInt(c.span, "memMB", int64(res.MemMB))
+	}
 	return c
 }
 
@@ -369,6 +402,8 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	nm.dead = true
 	nm.freeCores = 0
 	nm.freeMem = 0
+	rm.killedC.Inc()
+	rm.obs.T().Instant("fault", "node-killed", nodeID)
 	lost := make([]*Container, 0, len(nm.running))
 	for _, c := range nm.running {
 		lost = append(lost, c)
@@ -377,6 +412,11 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	nm.running = make(map[int64]*Container)
 	for _, c := range lost {
 		c.released = true
+		rm.lostC.Inc()
+		if tr := rm.obs.T(); tr.Enabled() {
+			tr.Arg(c.span, "lost", "true")
+			tr.End(c.span)
+		}
 		if c.OnLost != nil {
 			cb := c.OnLost
 			rm.eng.Schedule(0, cb)
