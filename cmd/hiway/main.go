@@ -46,6 +46,7 @@ import (
 	"hiway/internal/provenance"
 	"hiway/internal/recipes"
 	"hiway/internal/scheduler"
+	"hiway/internal/verify"
 	"hiway/internal/wf"
 	"hiway/internal/yarn"
 )
@@ -65,6 +66,8 @@ func main() {
 		err = runInspect(os.Args[2:])
 	case "prov":
 		err = runProv(os.Args[2:])
+	case "verify":
+		err = runVerify(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -96,6 +99,12 @@ func usage() {
 
   hiway prov (-trace FILE.jsonl | -db FILE.db)
       query a provenance store: workflow, task, and node summaries
+
+  hiway verify [-seeds N] [-start N] [-policy all|P,P,...] [-out FILE.json]
+               [-repro FILE.json] [-no-shrink] [-v]
+      property-based verification: run seeded random scenarios under every
+      scheduling policy plus a kill/resume variant, auditing runtime
+      invariants; a failing seed is minimized into a reproducer (TESTING.md)
 
 Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), trace (.jsonl)
 Scheduling policies: fcfs, dataaware (default), roundrobin, heft, adaptive
@@ -410,6 +419,100 @@ func runSim(args []string) error {
 	if *provPath != "" {
 		fmt.Println("provenance trace:", *provPath)
 	}
+	return nil
+}
+
+// runVerify drives the property-based scenario verifier: a batch of seeded
+// random scenarios, each executed under the full scheduling-policy matrix
+// plus a kill/resume variant, with runtime invariant auditing hooked into
+// the RM and AM. The batch stops at the first failing seed, minimizes it,
+// and emits a self-contained JSON reproducer that -repro re-checks.
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	seeds := fs.Int64("seeds", 50, "number of consecutive seeds to check")
+	start := fs.Int64("start", 1, "first seed of the batch")
+	policy := fs.String("policy", "all", "policy matrix: 'all' or a comma-separated subset")
+	reproPath := fs.String("repro", "", "re-check a reproducer scenario JSON instead of generating a batch")
+	outPath := fs.String("out", "", "write the minimized failing reproducer JSON to this file")
+	verbose := fs.Bool("v", false, "print every seed's per-policy outcome, not just failures")
+	noShrink := fs.Bool("no-shrink", false, "report the first failing seed without minimizing it")
+	fs.Parse(args)
+
+	opts := verify.Options{}
+	if *policy != "" && *policy != "all" {
+		known := make(map[string]bool, len(verify.AllPolicies))
+		for _, p := range verify.AllPolicies {
+			known[p] = true
+		}
+		for _, p := range strings.Split(*policy, ",") {
+			if !known[p] {
+				return fmt.Errorf("unknown policy %q (have %s)", p, strings.Join(verify.AllPolicies, ", "))
+			}
+			opts.Policies = append(opts.Policies, p)
+		}
+	}
+
+	report := func(sc *verify.Scenario, res *verify.Result) {
+		fmt.Printf("seed %d (%s, %d tasks, %d nodes, chaos %q): FAIL\n",
+			sc.Seed, sc.Shape, sc.TotalTasks(), sc.Nodes, sc.Chaos)
+		for _, f := range res.Failures {
+			fmt.Println("  ", f)
+		}
+	}
+
+	if *reproPath != "" {
+		data, err := os.ReadFile(*reproPath)
+		if err != nil {
+			return err
+		}
+		sc, err := verify.ParseScenario(data)
+		if err != nil {
+			return err
+		}
+		res := verify.CheckScenario(sc, opts)
+		if !res.OK() {
+			report(sc, res)
+			return fmt.Errorf("reproducer %s still fails (%d failures)", *reproPath, len(res.Failures))
+		}
+		fmt.Printf("reproducer %s passes: all invariants hold\n", *reproPath)
+		return nil
+	}
+
+	for seed := *start; seed < *start+*seeds; seed++ {
+		sc := verify.Generate(seed)
+		res := verify.CheckScenario(sc, opts)
+		if res.OK() {
+			if *verbose {
+				for _, run := range res.Runs {
+					fmt.Printf("seed %d (%s): %-10s ok  makespan %8.1fs  executed %d  recovered %d\n",
+						seed, sc.Shape, run.Policy, run.MakespanSec, run.Executed, run.Recovered)
+				}
+			}
+			continue
+		}
+		report(sc, res)
+		repro := sc
+		if !*noShrink {
+			rep := verify.Shrink(sc, opts)
+			repro = rep.Scenario
+			fmt.Printf("minimized to %d tasks, chaos %q after %d probes\n",
+				repro.TotalTasks(), repro.Chaos, rep.Probes)
+		}
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, repro.Marshal(), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("reproducer:", *outPath)
+		} else {
+			fmt.Printf("reproducer (re-check with `hiway verify -repro FILE`):\n%s", repro.Marshal())
+		}
+		return fmt.Errorf("seed %d violated invariants", seed)
+	}
+	n := len(opts.Policies)
+	if n == 0 {
+		n = len(verify.AllPolicies)
+	}
+	fmt.Printf("verified %d seeds x %d policies (+resume variant): all invariants hold\n", *seeds, n)
 	return nil
 }
 

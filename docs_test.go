@@ -46,7 +46,7 @@ func fencedBlocks(t *testing.T, path string) [][2]string {
 	return blocks
 }
 
-var docFiles = []string{"README.md", "OBSERVABILITY.md", "DESIGN.md", "EXPERIMENTS.md"}
+var docFiles = []string{"README.md", "OBSERVABILITY.md", "DESIGN.md", "EXPERIMENTS.md", "TESTING.md"}
 
 // TestMarkdownFencesBalanced guards against a truncated or mis-edited doc:
 // every fenced block in the operator-facing markdown must close.
@@ -89,7 +89,7 @@ func cliFlags(t *testing.T) map[string]map[string]bool {
 	if err != nil {
 		t.Fatal(err)
 	}
-	subFor := map[string]string{"runSim": "sim", "runLocal": "local", "runProv": "prov", "runInspect": "inspect"}
+	subFor := map[string]string{"runSim": "sim", "runLocal": "local", "runProv": "prov", "runInspect": "inspect", "runVerify": "verify"}
 	out := map[string]map[string]bool{}
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)

@@ -91,6 +91,30 @@ type Config struct {
 	// the attempt outright; the faster copy wins, the loser is canceled
 	// and its container released.
 	Speculate bool
+
+	// Audit, if set, observes the AM's task lifecycle so an external
+	// invariant auditor (internal/verify) can check ordering and terminal-
+	// state properties on every event. Nil disables auditing entirely.
+	Audit AuditSink
+}
+
+// AuditSink observes AM task-lifecycle events. The verify layer's invariant
+// auditor implements it; hooks run synchronously inside the AM and must not
+// call back into it.
+type AuditSink interface {
+	// OnTaskSubmitted fires when a ready task is handed to the scheduler
+	// (once per task instance; retries do not re-fire it).
+	OnTaskSubmitted(now float64, t *wf.Task)
+	// OnAttemptStart fires when an attempt begins on a container.
+	OnAttemptStart(now float64, t *wf.Task, node string, attempt int)
+	// OnAttemptEnd fires when an attempt finishes, is canceled, or is lost.
+	// accepted is true only for the attempt whose result completed the task.
+	OnAttemptEnd(now float64, t *wf.Task, node string, attempt int, exitCode int, accepted bool)
+	// OnTaskCompleted fires exactly once per task, when its first
+	// successful attempt is accepted.
+	OnTaskCompleted(now float64, t *wf.Task, node string)
+	// OnWorkflowEnd fires when the AM terminates, successfully or not.
+	OnWorkflowEnd(now float64, succeeded bool)
 }
 
 func (c *Config) setDefaults() {
@@ -303,8 +327,8 @@ func Run(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*Rep
 }
 
 // Resume continues a workflow whose AM died mid-run. Completed tasks are
-// reconstructed from the provenance store — matched by task signature and
-// input paths against the freshly parsed workflow, accepted only if every
+// reconstructed from the provenance store — matched by task signature plus
+// input and output paths against the freshly parsed workflow, accepted only if every
 // recorded output is still readable in HDFS — and fed back to the driver
 // as if they had just finished, so only lost work re-executes. This is the
 // operational form of the paper's re-executable traces (§3.5): provenance
@@ -323,7 +347,7 @@ func Resume(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config, st
 		return nil, fmt.Errorf("core: reading provenance for resume: %w", err)
 	}
 	// Successful recorded attempts of this workflow, keyed by signature +
-	// input paths. Task IDs are process-local and differ across AM
+	// input + output paths. Task IDs are process-local and differ across AM
 	// incarnations; structure identifies the task.
 	recorded := make(map[string][]provenance.Event)
 	for _, ev := range events {
@@ -345,7 +369,7 @@ func Resume(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config, st
 	for len(frontier) > 0 {
 		var next []*wf.Task
 		for _, t := range frontier {
-			key := recoveryKey(t.Name, t.Inputs)
+			key := recoveryKey(t.Name, t.Inputs, t.DeclaredPaths())
 			evs := recorded[key]
 			if len(evs) == 0 || !am.outputsIntact(evs[0]) {
 				torun = append(torun, t)
@@ -386,19 +410,29 @@ func Resume(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config, st
 	return am, nil
 }
 
-// recoveryKey identifies a task structurally across AM incarnations.
-func recoveryKey(signature string, inputs []string) string {
-	sorted := append([]string(nil), inputs...)
-	sort.Strings(sorted)
-	return signature + "\x00" + strings.Join(sorted, "\x00")
+// recoveryKey identifies a task structurally across AM incarnations. Both
+// inputs and declared outputs participate: two tasks may share a signature
+// and consume the same files yet produce different artifacts (fan-out), and
+// matching on inputs alone would let one steal the other's recorded
+// completion, marking a task done whose outputs were never materialized.
+func recoveryKey(signature string, inputs, outputs []string) string {
+	ins := append([]string(nil), inputs...)
+	sort.Strings(ins)
+	outs := append([]string(nil), outputs...)
+	sort.Strings(outs)
+	return signature + "\x00" + strings.Join(ins, "\x00") + "\x01" + strings.Join(outs, "\x00")
 }
 
 func recoveryKeyFromEvent(ev provenance.Event) string {
-	paths := make([]string, 0, len(ev.Inputs))
+	ins := make([]string, 0, len(ev.Inputs))
 	for _, in := range ev.Inputs {
-		paths = append(paths, in.Path)
+		ins = append(ins, in.Path)
 	}
-	return recoveryKey(ev.Signature, paths)
+	outs := make([]string, 0, len(ev.Outputs))
+	for _, out := range ev.Outputs {
+		outs = append(outs, out.Path)
+	}
+	return recoveryKey(ev.Signature, ins, outs)
 }
 
 // outputsIntact verifies every output the recorded attempt produced is
@@ -559,6 +593,9 @@ func (am *AM) submit(t *wf.Task) {
 		if _, ok := am.taskSpans[t.ID]; !ok {
 			am.taskSpans[t.ID] = am.tr.BeginAsync("task", t.Name, "tasks", am.wfSpan)
 		}
+	}
+	if am.cfg.Audit != nil {
+		am.cfg.Audit.OnTaskSubmitted(am.env.Cluster.Engine.Now(), t)
 	}
 	am.sched.OnTaskReady(t)
 	am.requestContainer(t)
@@ -757,6 +794,9 @@ func (am *AM) launchAttempt(t *wf.Task, c *yarn.Container, speculative bool) {
 		}
 	}
 	am.provTaskStart(t, c.NodeID, idx)
+	if am.cfg.Audit != nil {
+		am.cfg.Audit.OnAttemptStart(eng.Now(), t, c.NodeID, idx)
+	}
 
 	if d := am.attemptDeadline(t); d > 0 {
 		a.timer = eng.Schedule(d, func() { am.onAttemptTimeout(a) })
@@ -944,6 +984,9 @@ func (am *AM) cancelAttempt(a *attempt, reason string) {
 	am.tr.Arg(a.span, "canceled", "true")
 	am.tr.End(a.span)
 	am.provTaskEnd(a.res)
+	if am.cfg.Audit != nil {
+		am.cfg.Audit.OnAttemptEnd(eng.Now(), a.t, a.res.Node, a.idx, a.res.ExitCode, false)
+	}
 	am.app.Release(a.c)
 }
 
@@ -978,6 +1021,10 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 	am.tr.ArgInt(a.span, "exit", int64(a.res.ExitCode))
 	am.tr.End(a.span)
 	am.provTaskEnd(a.res)
+	if am.cfg.Audit != nil {
+		accepted := ok && !am.finished && !am.completed[a.t.ID]
+		am.cfg.Audit.OnAttemptEnd(am.env.Cluster.Engine.Now(), a.t, a.res.Node, a.idx, a.res.ExitCode, accepted)
+	}
 	if am.finished {
 		return
 	}
@@ -989,6 +1036,9 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 		}
 		am.completed[t.ID] = true
 		am.completedC.Inc()
+		if am.cfg.Audit != nil {
+			am.cfg.Audit.OnTaskCompleted(am.env.Cluster.Engine.Now(), t, a.res.Node)
+		}
 		if am.speculated[t.ID] {
 			if a.res.Speculative {
 				am.specWinC.Inc()
@@ -1129,6 +1179,9 @@ func (am *AM) finish(err error) {
 	}
 	am.tr.End(am.wfSpan)
 	am.provWorkflowEnd(err == nil)
+	if am.cfg.Audit != nil {
+		am.cfg.Audit.OnWorkflowEnd(eng.Now(), err == nil)
+	}
 	// Workflow completion is a durability boundary: hand buffered
 	// provenance to the store before the AM goes away.
 	if am.env.Prov != nil {

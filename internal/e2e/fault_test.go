@@ -138,6 +138,77 @@ func TestAMCrashResumeFromProvenance(t *testing.T) {
 	}
 }
 
+// TestResumeDistinguishesSameSignatureSameInputs is the regression test for
+// a recovery-matching bug the scenario verifier surfaced: two tasks sharing
+// a signature AND an input set but producing different outputs (a fan-out)
+// must not swap completion events on resume. The long twin is deliberately
+// parsed first so that, were recovery keyed on signature+inputs alone, it
+// would steal the short twin's recorded event, be marked complete without
+// its output existing, and wedge the merge task's stage-in.
+func TestResumeDistinguishesSameSignatureSameInputs(t *testing.T) {
+	twins := func() wf.Driver {
+		return &wf.StaticBase{WFName: "twin-fanout", Build: func() ([]*wf.Task, []string, []wf.Edge, error) {
+			long := wf.NewTask("clone", []string{"/data/in.dat"}, []wf.FileInfo{{Path: "/wf/long.dat", SizeMB: 16}})
+			long.CPUSeconds = 120
+			short := wf.NewTask("clone", []string{"/data/in.dat"}, []wf.FileInfo{{Path: "/wf/short.dat", SizeMB: 16}})
+			short.CPUSeconds = 5
+			merge := wf.NewTask("merge", []string{"/wf/long.dat", "/wf/short.dat"}, []wf.FileInfo{{Path: "/wf/out.dat", SizeMB: 16}})
+			merge.CPUSeconds = 5
+			return []*wf.Task{long, short, merge}, []string{"/data/in.dat"}, nil, nil
+		}}
+	}
+	inputs := []workloads.Input{{Path: "/data/in.dat", SizeMB: 32}}
+	store := provenance.NewMemStore()
+	eng, env := newEnv(t, 3, store, inputs)
+	cfg := core.Config{WorkflowID: "twin-resume", ContainerVCores: 1, ContainerMemMB: 1024}
+	am, err := core.Launch(env, twins(), scheduler.NewFCFS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := 1.0; am.CompletedTasks() < 1 && !am.Finished(); ts++ {
+		eng.RunUntil(ts)
+	}
+	if am.Finished() {
+		t.Fatal("workflow finished before the crash could be injected")
+	}
+	if got := am.CompletedTasks(); got != 1 {
+		t.Fatalf("%d tasks completed at the crash, want exactly the short twin", got)
+	}
+	am.Kill()
+
+	am2, err := core.Resume(env, twins(), scheduler.NewFCFS(), cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	rep, err := am2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded {
+		t.Fatalf("resume misrecovered the fan-out twins: %v", rep.Err)
+	}
+	if rep.Recovered != 1 {
+		t.Fatalf("recovered %d tasks, want 1 (the short twin only)", rep.Recovered)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("resumed incarnation executed %d tasks, want 2 (long twin + merge)", len(rep.Results))
+	}
+	events, err := store.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	successes := 0
+	for _, ev := range events {
+		if ev.Type == provenance.TaskEnd && ev.ExitCode == 0 && ev.Error == "" {
+			successes++
+		}
+	}
+	if successes != 3 {
+		t.Fatalf("%d successful task-end events across both incarnations, want 3 (no re-execution)", successes)
+	}
+}
+
 // TestChaosHangSpeculation hangs a task's first attempt forever; the
 // deadline must fire, a speculative duplicate must win on another node, and
 // the hung loser's container must be released — no leaked capacity.

@@ -1,0 +1,34 @@
+package cuneiform
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the Cuneiform lexer, parser, and
+// evaluator: no input may panic or hang, and any program that parses must
+// also survive DAG construction. Seeds come from the shipped example
+// workflow plus minimal valid and deliberately malformed snippets.
+func FuzzParse(f *testing.F) {
+	if demo, err := os.ReadFile("../../../examples/demo.cf"); err == nil {
+		f.Add(string(demo))
+	}
+	f.Add(`deftask gen( out : ~x ) @cpu 30 in bash *{ synthesize }*` + "\n" + `gen( x: "1" );`)
+	f.Add(`deftask join( out : a b ) in bash *{ cat $a $b > $out }*`)
+	f.Add(`join( a: gen( x: "1" ) b: gen( x: "2" ) );`)
+	f.Add(`%% comment only`)
+	f.Add(`deftask broken( out :`)
+	f.Add(`*{ unterminated body`)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+		// A program that parses must evaluate without panicking (errors are
+		// fine: undefined tasks, arity mismatches, …).
+		_, _ = NewDriver("fuzz", src).Parse()
+	})
+}

@@ -1,0 +1,17 @@
+package dax
+
+import "testing"
+
+// FuzzParse throws arbitrary bytes at the Pegasus DAX frontend: no input may
+// panic, whatever the XML decoder makes of it. Seeds are the sample workflow
+// the unit tests use plus malformed fragments around the decoder's edges.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleDAX)
+	f.Add(`<?xml version="1.0"?><adag></adag>`)
+	f.Add(`<adag><job id="a" name="t"><uses link="output" file="f"/></job>`)
+	f.Add(`<adag><child ref="missing"><parent ref="also-missing"/></child></adag>`)
+	f.Add(`not xml at all`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = NewDriver("fuzz", src, Options{}).Parse()
+	})
+}

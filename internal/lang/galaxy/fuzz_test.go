@@ -1,0 +1,18 @@
+package galaxy
+
+import "testing"
+
+// FuzzParse throws arbitrary bytes at the Galaxy workflow frontend: no input
+// may panic, whatever the JSON decoder makes of it. Seeds are the sample
+// workflow the unit tests use plus fragments around the step-graph edges.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleGalaxy)
+	f.Add(`{}`)
+	f.Add(`{"a_galaxy_workflow":"true","steps":{}}`)
+	f.Add(`{"steps":{"0":{"type":"data_input","inputs":[{"name":"x"}]}}}`)
+	f.Add(`{"steps":{"1":{"input_connections":{"in":{"id":99,"output_name":"out"}}}}}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = NewDriver("fuzz", src, Options{}).Parse()
+	})
+}

@@ -125,6 +125,159 @@ func TestStaticSelectDeclinesBlacklistedAndReassignMovesQueued(t *testing.T) {
 	}
 }
 
+// TestNodeHealthTrackerEdgeCases pins the tracker's boundary behavior as a
+// table: each case drives a fresh tracker through a scripted sequence of
+// failures, successes, and clock jumps, then asserts the health verdict.
+func TestNodeHealthTrackerEdgeCases(t *testing.T) {
+	type step struct {
+		at      float64 // clock value before the action
+		fail    string  // node to fail, if non-empty
+		succeed string  // node to rehabilitate, if non-empty
+	}
+	cases := []struct {
+		name        string
+		steps       []step
+		at          float64 // clock value for the final assertions
+		healthy     []string
+		unhealthy   []string
+		blacklisted []string // expected Blacklisted() at `at`
+	}{
+		{
+			name: "expiry at the exact deadline re-admits",
+			// Blacklisted at t=10 for 60s: the window is [10, 70), so the
+			// node is unhealthy at 69.999… and healthy again at exactly 70.
+			steps:       []step{{at: 10, fail: "n1"}, {at: 10, fail: "n1"}, {at: 10, fail: "n1"}},
+			at:          70,
+			healthy:     []string{"n1"},
+			blacklisted: nil,
+		},
+		{
+			name:        "one tick before the deadline still blacklisted",
+			steps:       []step{{at: 10, fail: "n1"}, {at: 10, fail: "n1"}, {at: 10, fail: "n1"}},
+			at:          69.999,
+			unhealthy:   []string{"n1"},
+			blacklisted: []string{"n1"},
+		},
+		{
+			name: "re-blacklist after full recovery uses the base penalty again",
+			// Blacklist, wait out the window, succeed (full rehabilitation),
+			// then three fresh failures: the streak threshold applies again
+			// and the penalty is the base 60s, not the doubled probation one.
+			steps: []step{
+				{at: 0, fail: "n1"}, {at: 0, fail: "n1"}, {at: 0, fail: "n1"},
+				{at: 60, succeed: "n1"},
+				{at: 100, fail: "n1"}, {at: 100, fail: "n1"},
+				// Two failures stay below the threshold after a reset…
+				{at: 100, fail: "n1"},
+				// …and the third blacklists until 160, not 100+120.
+			},
+			at:          160,
+			healthy:     []string{"n1"},
+			blacklisted: nil,
+		},
+		{
+			name: "recovered node re-blacklists below doubled window",
+			steps: []step{
+				{at: 0, fail: "n1"}, {at: 0, fail: "n1"}, {at: 0, fail: "n1"},
+				{at: 60, succeed: "n1"},
+				{at: 100, fail: "n1"}, {at: 100, fail: "n1"}, {at: 100, fail: "n1"},
+			},
+			at:          159.999,
+			unhealthy:   []string{"n1"},
+			blacklisted: []string{"n1"},
+		},
+		{
+			name: "all nodes blacklisted, earliest window re-admits first",
+			// Both nodes go down; no healthy node exists until n1's window
+			// expires — the cluster-wide fallback is waiting out the penalty,
+			// not handing work to a blacklisted node.
+			steps: []step{
+				{at: 0, fail: "n1"}, {at: 0, fail: "n1"}, {at: 0, fail: "n1"},
+				{at: 30, fail: "n2"}, {at: 30, fail: "n2"}, {at: 30, fail: "n2"},
+			},
+			at:          60,
+			healthy:     []string{"n1"},
+			unhealthy:   []string{"n2"},
+			blacklisted: []string{"n2"},
+		},
+		{
+			name: "all nodes blacklisted simultaneously",
+			steps: []step{
+				{at: 0, fail: "n1"}, {at: 0, fail: "n1"}, {at: 0, fail: "n1"},
+				{at: 0, fail: "n2"}, {at: 0, fail: "n2"}, {at: 0, fail: "n2"},
+			},
+			at:          59,
+			unhealthy:   []string{"n1", "n2"},
+			blacklisted: []string{"n1", "n2"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			now := 0.0
+			h := NewNodeHealthTracker(func() float64 { return now }, 3, 60)
+			for _, s := range tc.steps {
+				now = s.at
+				if s.fail != "" {
+					h.ReportFailure(s.fail)
+				}
+				if s.succeed != "" {
+					h.ReportSuccess(s.succeed)
+				}
+			}
+			now = tc.at
+			for _, n := range tc.healthy {
+				if !h.Healthy(n) {
+					t.Errorf("at t=%v node %s should be healthy", tc.at, n)
+				}
+			}
+			for _, n := range tc.unhealthy {
+				if h.Healthy(n) {
+					t.Errorf("at t=%v node %s should be blacklisted", tc.at, n)
+				}
+			}
+			got := h.Blacklisted()
+			if len(got) != len(tc.blacklisted) {
+				t.Fatalf("Blacklisted() = %v, want %v", got, tc.blacklisted)
+			}
+			for i := range got {
+				if got[i] != tc.blacklisted[i] {
+					t.Fatalf("Blacklisted() = %v, want %v", got, tc.blacklisted)
+				}
+			}
+		})
+	}
+}
+
+// TestAllNodesBlacklistedSchedulerWithholdsUntilExpiry pins the cluster-wide
+// fallback at the scheduler layer: with every node blacklisted the policy
+// declines all containers (the AM keeps re-requesting), and the first window
+// to expire starts receiving work again — no task is ever handed to a
+// blacklisted node, and no task is lost while waiting.
+func TestAllNodesBlacklistedSchedulerWithholdsUntilExpiry(t *testing.T) {
+	now := 0.0
+	h := NewNodeHealthTracker(func() float64 { return now }, 1, 60)
+	h.ReportFailure("n1")
+	h.ReportFailure("n2")
+
+	s := NewFCFS()
+	s.SetNodeHealth(h)
+	task := wf.NewTask("tool", nil, []wf.FileInfo{{Path: "o", SizeMB: 1}})
+	s.OnTaskReady(task)
+
+	for _, n := range []string{"n1", "n2"} {
+		if got := s.Select(n); got != nil {
+			t.Fatalf("Select(%s) handed out a task with every node blacklisted", n)
+		}
+	}
+	if s.Queued() != 1 {
+		t.Fatalf("Queued = %d after declines, want 1 (task must not be lost)", s.Queued())
+	}
+	now = 60 // n1 and n2 expire together; either may serve now
+	if got := s.Select("n1"); got != task {
+		t.Fatalf("Select(n1) = %v after expiry, want the queued task", got)
+	}
+}
+
 type fracOracle struct{}
 
 func (fracOracle) LocalFraction(paths []string, nodeID string) float64 { return 0 }

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hiway/internal/core"
+)
+
+// TestGenerateDeterministic pins the generator contract: the same seed must
+// yield byte-identical scenarios (the whole verifier depends on it).
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := Generate(seed).Marshal(), Generate(seed).Marshal()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestGeneratedScenariosParse checks structural validity over a seed sweep:
+// every generated scenario must build a driver whose DAG validates (acyclic,
+// producers known) and whose task count matches the spec.
+func TestGeneratedScenariosParse(t *testing.T) {
+	shapesSeen := map[string]bool{}
+	for seed := int64(1); seed <= 60; seed++ {
+		sc := Generate(seed)
+		shapesSeen[sc.Shape] = true
+		ready, err := sc.Driver().Parse()
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sc.Shape, err)
+		}
+		if len(ready) == 0 {
+			t.Fatalf("seed %d (%s): no initially ready tasks", seed, sc.Shape)
+		}
+		if sc.Nodes < 3 || sc.Nodes > 8 {
+			t.Fatalf("seed %d: %d nodes out of range", seed, sc.Nodes)
+		}
+	}
+	for _, shape := range shapes {
+		if !shapesSeen[shape] {
+			t.Errorf("60 seeds never produced shape %q", shape)
+		}
+	}
+}
+
+// TestScenarioRoundTrip pins the reproducer format: Marshal → ParseScenario
+// is the identity.
+func TestScenarioRoundTrip(t *testing.T) {
+	sc := Generate(7)
+	back, err := ParseScenario(sc.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Marshal(), back.Marshal()) {
+		t.Fatalf("round-trip changed the scenario")
+	}
+}
+
+// TestCheckScenarioSeedBatch is the in-repo slice of the CI seed batch:
+// every seed must pass every policy, the resume variant, and all invariants.
+// The full 200-seed batch runs via `hiway verify` in CI.
+func TestCheckScenarioSeedBatch(t *testing.T) {
+	n := int64(25)
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		sc := Generate(seed)
+		res := CheckScenario(sc, Options{})
+		if !res.OK() {
+			t.Errorf("seed %d (%s, %d tasks, chaos %q) failed:\n  %s",
+				seed, sc.Shape, sc.TotalTasks(), sc.Chaos, strings.Join(res.Failures, "\n  "))
+		}
+	}
+}
+
+// TestIterativeScenarioSkipsStaticPolicies documents the §3.4 rule in the
+// runner: an unfolding workflow is checked under dynamic policies only, and
+// still completes its full task count.
+func TestIterativeScenarioSkipsStaticPolicies(t *testing.T) {
+	var sc *Scenario
+	for seed := int64(1); ; seed++ {
+		if sc = Generate(seed); sc.Iterative() {
+			break
+		}
+	}
+	res := CheckScenario(sc, Options{})
+	if !res.OK() {
+		t.Fatalf("iterative seed %d failed:\n  %s", sc.Seed, strings.Join(res.Failures, "\n  "))
+	}
+	for _, run := range res.Runs {
+		if staticPolicies[run.Policy] {
+			t.Fatalf("static policy %s ran an iterative scenario", run.Policy)
+		}
+		if run.Policy != "resume" && run.Executed != sc.TotalTasks() {
+			t.Fatalf("policy %s executed %d tasks, want %d", run.Policy, run.Executed, sc.TotalTasks())
+		}
+	}
+}
+
+// skewTamper injects the deliberate off-by-one into container release that
+// the acceptance criteria demand the auditor catches: every release credits
+// one extra vcore, so free+in-use drifts above the node spec.
+func skewTamper(env core.Env) { env.RM.SetReleaseSkewForTesting(1) }
+
+// TestAuditorDetectsReleaseSkew is the acceptance test for the invariant
+// auditor: a broken release accounting path must surface as a
+// capacity-conservation violation under every policy.
+func TestAuditorDetectsReleaseSkew(t *testing.T) {
+	sc := Generate(1)
+	res := CheckScenario(sc, Options{Tamper: skewTamper, SkipResume: true})
+	if res.OK() {
+		t.Fatalf("auditor missed the release off-by-one on seed %d", sc.Seed)
+	}
+	found := false
+	for _, f := range res.Failures {
+		if strings.Contains(f, InvCapacity) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("failures do not name %s:\n  %s", InvCapacity, strings.Join(res.Failures, "\n  "))
+	}
+}
+
+// TestShrinkMinimizesReleaseSkewReproducer drives the full failing-seed
+// workflow: detect the injected bug, then shrink the scenario. The
+// accounting bug fires on the very first release, so the minimized
+// reproducer must be a single-task workflow with an empty chaos plan.
+func TestShrinkMinimizesReleaseSkewReproducer(t *testing.T) {
+	opts := Options{Tamper: skewTamper, SkipResume: true, Policies: []string{"fcfs"}}
+	var sc *Scenario
+	for seed := int64(1); ; seed++ {
+		sc = Generate(seed)
+		if sc.Iterative() {
+			continue // keep the assertion on the prefix search simple
+		}
+		if len(CheckScenario(sc, opts).Failures) > 0 {
+			break
+		}
+	}
+	rep := Shrink(sc, opts)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("shrink lost the failure (probes %d)", rep.Probes)
+	}
+	min := rep.Scenario
+	if len(min.Tasks) != 1 {
+		t.Errorf("minimized to %d tasks, want 1:\n%s", len(min.Tasks), min.Marshal())
+	}
+	if min.Chaos != "" {
+		t.Errorf("minimized scenario kept chaos %q", min.Chaos)
+	}
+	if len(CheckScenario(min, opts).Failures) == 0 {
+		t.Errorf("minimized reproducer does not fail on re-check")
+	}
+	// And the reproducer is self-contained: parse it back and re-fail.
+	back, err := ParseScenario(min.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(CheckScenario(back, opts).Failures) == 0 {
+		t.Errorf("re-parsed reproducer does not fail")
+	}
+}
+
+// TestShrinkPassingScenarioIsIdentity pins the contract that Shrink never
+// mutates a healthy scenario.
+func TestShrinkPassingScenarioIsIdentity(t *testing.T) {
+	sc := Generate(2)
+	rep := Shrink(sc, Options{Policies: []string{"fcfs"}, SkipResume: true})
+	if len(rep.Failures) != 0 {
+		t.Fatalf("healthy scenario reported failures: %v", rep.Failures)
+	}
+	if !bytes.Equal(rep.Scenario.Marshal(), sc.Marshal()) {
+		t.Fatalf("shrink mutated a passing scenario")
+	}
+}

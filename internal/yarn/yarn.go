@@ -99,6 +99,26 @@ type pendingReq struct {
 	at   float64 // request arrival time, for allocation-latency metrics
 }
 
+// AuditHook observes the RM's container lifecycle at the exact points
+// resource accounting changes. The verify layer installs an invariant
+// auditor here; a nil hook (the default) costs one nil check per event.
+// Hooks run synchronously inside the RM, so they must not call back into it.
+type AuditHook interface {
+	// OnContainerAllocated fires when capacity is debited for a container
+	// (worker and AM containers alike).
+	OnContainerAllocated(now float64, c *Container)
+	// OnContainerReleased fires on every Release call, before the
+	// idempotency check; double is true when the container had already been
+	// released (a defensive re-release, which must not credit capacity).
+	OnContainerReleased(now float64, c *Container, double bool)
+	// OnContainerLost fires for each running container destroyed by a node
+	// failure; its capacity is gone with the node, not credited back.
+	OnContainerLost(now float64, c *Container)
+	// OnNodeDead fires once when a node is killed, before its containers
+	// are reported lost.
+	OnNodeDead(now float64, node string)
+}
+
 // ResourceManager allocates containers over the simulated cluster.
 type ResourceManager struct {
 	eng *sim.Engine
@@ -113,6 +133,14 @@ type ResourceManager struct {
 	nextContainer int64
 	nextSeq       int64
 	allocPending  bool
+
+	audit AuditHook // optional invariant auditor; nil disables
+
+	// releaseSkew is a deliberate accounting error injected by tests: every
+	// release credits this many extra vcores. It exists solely so the verify
+	// layer can prove its capacity-conservation auditor detects broken
+	// release accounting; production code never sets it.
+	releaseSkew int
 
 	// statistics
 	Allocated int64 // total containers ever allocated (incl. AMs)
@@ -146,6 +174,16 @@ func (rm *ResourceManager) SetObs(o *obs.Obs) {
 			"containers allocated per node", "node", id)
 	}
 }
+
+// SetAudit installs an invariant auditor over the RM's container lifecycle.
+// Call before submitting applications; a nil hook (the default) disables it.
+func (rm *ResourceManager) SetAudit(h AuditHook) { rm.audit = h }
+
+// SetReleaseSkewForTesting injects a deliberate off-by-skew accounting error
+// into container release: every release credits skew extra vcores back to the
+// node. It exists so tests can prove the capacity-conservation auditor
+// actually detects broken release accounting; never call it outside tests.
+func (rm *ResourceManager) SetReleaseSkewForTesting(skew int) { rm.releaseSkew = skew }
 
 // NewResourceManager builds an RM over the cluster's nodes.
 func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, cfg Config) *ResourceManager {
@@ -239,7 +277,13 @@ func (a *Application) PendingRequests() int {
 // Release returns a container's resources to its node and triggers a new
 // allocation round. Releasing twice is a no-op.
 func (a *Application) Release(c *Container) {
-	if c == nil || c.released {
+	if c == nil {
+		return
+	}
+	if c.released {
+		if a.rm.audit != nil {
+			a.rm.audit.OnContainerReleased(a.rm.eng.Now(), c, true)
+		}
 		return
 	}
 	c.released = true
@@ -248,9 +292,14 @@ func (a *Application) Release(c *Container) {
 	if nm != nil {
 		delete(nm.running, c.ID)
 		if !nm.dead {
-			nm.freeCores += c.Resource.VCores
+			nm.freeCores += c.Resource.VCores + a.rm.releaseSkew
 			nm.freeMem += c.Resource.MemMB
 		}
+	}
+	// The audit hook fires after accounting so a capacity cross-check at
+	// this instant sees the post-release state.
+	if a.rm.audit != nil {
+		a.rm.audit.OnContainerReleased(a.rm.eng.Now(), c, false)
 	}
 	a.rm.kick()
 }
@@ -387,6 +436,9 @@ func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Res
 		tr.ArgInt(c.span, "vcores", int64(res.VCores))
 		tr.ArgInt(c.span, "memMB", int64(res.MemMB))
 	}
+	if rm.audit != nil {
+		rm.audit.OnContainerAllocated(rm.eng.Now(), c)
+	}
 	return c
 }
 
@@ -403,6 +455,9 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	nm.freeCores = 0
 	nm.freeMem = 0
 	rm.killedC.Inc()
+	if rm.audit != nil {
+		rm.audit.OnNodeDead(rm.eng.Now(), nodeID)
+	}
 	rm.obs.T().Instant("fault", "node-killed", nodeID)
 	lost := make([]*Container, 0, len(nm.running))
 	for _, c := range nm.running {
@@ -413,6 +468,9 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	for _, c := range lost {
 		c.released = true
 		rm.lostC.Inc()
+		if rm.audit != nil {
+			rm.audit.OnContainerLost(rm.eng.Now(), c)
+		}
 		if tr := rm.obs.T(); tr.Enabled() {
 			tr.Arg(c.span, "lost", "true")
 			tr.End(c.span)
