@@ -202,3 +202,26 @@ func BenchmarkScale(b *testing.B) {
 		b.ReportMetric(last.WallSec, "wall-s")
 	}
 }
+
+// BenchmarkServiceLoad runs the multi-tenant service tier up the arrival-rate
+// ladder — light load through saturation into overload (set
+// HIWAY_SCALE_FULL=1 for the overload rungs) — and writes the measurements
+// to BENCH_service.json. The figures of merit are goodput (which must
+// plateau, not collapse, at overload) and p99 queue wait (which admission
+// backpressure must keep bounded).
+func BenchmarkServiceLoad(b *testing.B) {
+	full := os.Getenv("HIWAY_SCALE_FULL") != ""
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ServiceSweep(experiments.ServiceSweepConfigs(full))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_service.json", res.JSON(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.GoodputPerHour, "goodput/h")
+		b.ReportMetric(last.QueueWaitP99Sec, "p99-wait-s")
+		b.ReportMetric(last.RejectionRate, "rej-rate")
+	}
+}

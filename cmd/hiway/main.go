@@ -35,6 +35,7 @@ import (
 	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/core"
+	"hiway/internal/experiments"
 	"hiway/internal/hdfs"
 	"hiway/internal/lang/cuneiform"
 	"hiway/internal/lang/dax"
@@ -68,6 +69,8 @@ func main() {
 		err = runProv(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
+	case "load":
+		err = runLoad(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -105,6 +108,14 @@ func usage() {
       property-based verification: run seeded random scenarios under every
       scheduling policy plus a kill/resume variant, auditing runtime
       invariants; a failing seed is minimized into a reproducer (TESTING.md)
+
+  hiway load [-seed N] [-nodes N] [-duration SEC] [-rate X]
+             [-max-concurrent N] [-max-queue N] [-retry-after SEC]
+             [-retry-limit N] [-policy P] [-chaos SPEC] [-chaos-seed N]
+             [-metrics FILE.prom] [-ladder] [-full] [-json FILE.json]
+      multi-tenant service load: an open-loop tenant mix submits workflows
+      through admission control onto one simulated cluster; -ladder sweeps
+      the arrival rate and emits the BENCH_service.json points
 
 Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), trace (.jsonl)
 Scheduling policies: fcfs, dataaware (default), roundrobin, heft, adaptive
@@ -513,6 +524,94 @@ func runVerify(args []string) error {
 		n = len(verify.AllPolicies)
 	}
 	fmt.Printf("verified %d seeds x %d policies (+resume variant): all invariants hold\n", *seeds, n)
+	return nil
+}
+
+// runLoad drives the multi-tenant service tier: an open-loop arrival
+// process (the default tenant mix, scaled by -rate) submits workflow
+// instances through admission control onto one simulated cluster, and the
+// per-workflow accounting is printed when the run drains. Same-seed runs
+// print byte-identical reports. With -ladder the arrival rate is swept and
+// the measured points are emitted as BENCH_service.json.
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "seed for arrivals and the simulated substrate")
+	nodes := fs.Int("nodes", 8, "number of simulated worker nodes")
+	duration := fs.Float64("duration", 1800, "arrival window in simulated seconds")
+	rate := fs.Float64("rate", 1, "arrival-rate multiplier over the base tenant mix")
+	maxConcurrent := fs.Int("max-concurrent", 4, "admission cap: concurrently running AMs")
+	maxQueue := fs.Int("max-queue", 16, "backpressure threshold: queued workflows before rejection")
+	retryAfter := fs.Float64("retry-after", 30, "client retry delay after a rejection, in seconds")
+	retryLimit := fs.Int("retry-limit", 1, "client retries after rejection before dropping")
+	policy := fs.String("policy", scheduler.PolicyFCFS, "per-workflow scheduling policy")
+	chaosSpec := fs.String("chaos", "", "chaos plan, e.g. 'crashrate=0.1;kill=node-03@60'")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for chaos rate draws")
+	metricsPath := fs.String("metrics", "", "write a Prometheus text metrics snapshot to this file")
+	ladder := fs.Bool("ladder", false, "sweep the arrival-rate ladder instead of a single run")
+	full := fs.Bool("full", false, "with -ladder: include the overload rungs (x2, x4)")
+	jsonPath := fs.String("json", "", "with -ladder: write the ladder points JSON to this file")
+	fs.Parse(args)
+
+	cfg := experiments.ServiceLoadConfig{
+		Seed:          *seed,
+		Nodes:         *nodes,
+		DurationSec:   *duration,
+		RateX:         *rate,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		RetryAfterSec: *retryAfter,
+		RetryLimit:    *retryLimit,
+		Policy:        *policy,
+		ChaosSpec:     *chaosSpec,
+		ChaosSeed:     *chaosSeed,
+	}
+
+	if *ladder {
+		cfgs := experiments.ServiceSweepConfigs(*full)
+		for i := range cfgs {
+			rx := cfgs[i].RateX
+			cfgs[i] = cfg
+			cfgs[i].RateX = rx
+		}
+		res, err := experiments.ServiceSweep(cfgs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if *jsonPath != "" {
+			if err := os.WriteFile(*jsonPath, res.JSON(), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("ladder:", *jsonPath)
+		}
+		return nil
+	}
+
+	cfg.WithObs = *metricsPath != ""
+	run, err := experiments.ServiceLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("service load: seed %d, %d nodes, %.0fs window, rate x%g, policy %s\n",
+		cfg.Seed, cfg.Nodes, cfg.DurationSec, cfg.RateX, cfg.Policy)
+	if cfg.ChaosSpec != "" {
+		fmt.Println("chaos:", cfg.ChaosSpec)
+	}
+	fmt.Print(run.Render())
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := run.Obs.M().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("metrics:", *metricsPath)
+	}
 	return nil
 }
 

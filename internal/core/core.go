@@ -41,6 +41,11 @@ type Config struct {
 	// run's ID.
 	WorkflowID string
 
+	// Tenant attributes the workflow's YARN application to a tenant; the
+	// RM's TenantPolicy for it (weight, quota cap) then governs the
+	// workflow's worker containers. Empty means untenanted.
+	Tenant string
+
 	// ContainerVCores/ContainerMemMB size the identical worker containers
 	// (the paper's default mode: all containers share one configuration).
 	ContainerVCores int // default 1
@@ -96,6 +101,13 @@ type Config struct {
 	// invariant auditor (internal/verify) can check ordering and terminal-
 	// state properties on every event. Nil disables auditing entirely.
 	Audit AuditSink
+
+	// OnTerminal, if set, fires exactly once when the AM terminates with a
+	// report (success or failure), after all containers are released and the
+	// application is finished. Kill does not fire it (a killed AM leaves no
+	// report). The service tier uses it to drive queued→admitted→finished
+	// lifecycle accounting.
+	OnTerminal func(*Report)
 }
 
 // AuditSink observes AM task-lifecycle events. The verify layer's invariant
@@ -259,7 +271,7 @@ func newAM(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*A
 			}
 		}
 	}
-	app, err := env.RM.SubmitApplication(cfg.WorkflowID, cfg.AMNode)
+	app, err := env.RM.SubmitApplicationFor(cfg.Tenant, cfg.WorkflowID, cfg.AMNode)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: submitting AM: %w", err)
 	}
@@ -1188,6 +1200,9 @@ func (am *AM) finish(err error) {
 		_ = am.env.Prov.Flush()
 	}
 	am.app.Finish()
+	if am.cfg.OnTerminal != nil {
+		am.cfg.OnTerminal(am.report)
+	}
 }
 
 func (am *AM) provWorkflowStart() {

@@ -1,0 +1,79 @@
+package e2e
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSoakByteDeterminism builds the hiway binary and runs the same
+// `hiway load` soak twice in separate processes and working directories.
+// The full stdout — summary, per-tenant breakdown, and the per-workflow
+// accounting table — and the Prometheus metrics snapshot must be
+// byte-identical: the service tier's determinism-by-seed guarantee at the
+// operator-facing surface. The overload rate (x2) makes the comparison
+// cover rejection, retry, and drop accounting, not just the happy path,
+// and a second pair of runs repeats the check under an armed chaos plan.
+func TestLoadSoakByteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hiway")
+	build := exec.Command("go", "build", "-o", bin, "hiway/cmd/hiway")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	run := func(runDir string, extra ...string) (stdout, metrics []byte) {
+		t.Helper()
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		args := append([]string{"load",
+			"-seed", "7", "-nodes", "6", "-duration", "1800", "-rate", "2",
+			"-max-concurrent", "3", "-max-queue", "6", "-metrics", "metrics.prom"},
+			extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = runDir
+		var out, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("load run: %v\nstderr: %s", err, stderr.String())
+		}
+		m, err := os.ReadFile(filepath.Join(runDir, "metrics.prom"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), m
+	}
+
+	cases := []struct {
+		name  string
+		extra []string
+	}{
+		{"plain", nil},
+		{"chaos", []string{"-chaos", "crashrate=0.1;kill=node-03@300;slow=node-02@120:1", "-chaos-seed", "5"}},
+	}
+	for _, tc := range cases {
+		out1, m1 := run(filepath.Join(dir, tc.name+"-1"), tc.extra...)
+		out2, m2 := run(filepath.Join(dir, tc.name+"-2"), tc.extra...)
+		if !bytes.Equal(out1, out2) {
+			t.Errorf("%s: stdout differs between identical soak runs:\n--- run 1\n%s--- run 2\n%s", tc.name, out1, out2)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Errorf("%s: metrics snapshots differ between identical soak runs", tc.name)
+		}
+		if !bytes.Contains(out1, []byte("workflow accounts:")) {
+			t.Errorf("%s: stdout lacks the per-workflow accounting table:\n%s", tc.name, out1)
+		}
+		if !bytes.Contains(m1, []byte("hiway_svc_submissions_total")) {
+			t.Errorf("%s: metrics snapshot lacks hiway_svc_* series", tc.name)
+		}
+		if !bytes.Contains(out1, []byte("rejected")) {
+			t.Errorf("%s: stdout lacks rejection accounting", tc.name)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+// Package service is the workflow-as-a-service tier over the simulated
+// Hi-WAY substrate: the layer the paper's architecture implies (one YARN
+// application master per workflow, many workflows from many users on one
+// cluster, §"Hadoop YARN resource manager") but a single-run engine never
+// exercises. A seeded open-loop arrival generator submits workflows from
+// mixed tenant profiles; an admission controller bounds concurrent AMs and
+// applies queue-depth backpressure (rejection with a retry-after hint);
+// per-tenant weighted fair-share quotas are enforced by internal/yarn's
+// allocator; and every workflow's queue wait, makespan, end-to-end latency
+// and rejections are accounted and exported through internal/obs as
+// hiway_svc_* metrics and spans.
+//
+// Everything is deterministic by seed: the same Config and profiles produce
+// byte-identical accounting across runs, which is what the soak tests pin.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hiway/internal/chaos"
+	"hiway/internal/core"
+	"hiway/internal/obs"
+	"hiway/internal/scheduler"
+	"hiway/internal/sim"
+	"hiway/internal/workloads"
+	"hiway/internal/yarn"
+)
+
+// TenantProfile describes one tenant's traffic and resource policy.
+type TenantProfile struct {
+	// Name identifies the tenant (must be unique across profiles).
+	Name string
+	// Weight is the tenant's fair-share weight in the YARN allocator
+	// (see yarn.TenantPolicy); 0 declares a background tenant.
+	Weight int
+	// MaxContainers caps the tenant's concurrent worker containers (hard
+	// quota, AM exempt); 0 means no cap.
+	MaxContainers int
+	// RatePerSec is the mean Poisson rate of arrival events. Each event
+	// submits Burst workflows at the same instant (open-loop: arrivals do
+	// not wait for completions).
+	RatePerSec float64
+	// Burst is the number of workflows submitted per arrival event
+	// (default 1; >1 models bursty clients).
+	Burst int
+	// Workload picks the DAG generator for this tenant's submissions.
+	Workload WorkloadSpec
+}
+
+// TenantPolicies derives the yarn allocator configuration from the profiles,
+// so the RM and the service agree on weights and quotas by construction.
+func TenantPolicies(profiles []TenantProfile) map[string]yarn.TenantPolicy {
+	out := make(map[string]yarn.TenantPolicy, len(profiles))
+	for _, p := range profiles {
+		out[p.Name] = yarn.TenantPolicy{Weight: p.Weight, MaxContainers: p.MaxContainers}
+	}
+	return out
+}
+
+// Config tunes the service tier.
+type Config struct {
+	// Seed drives every random draw (arrival times, bursts). Same seed,
+	// same profiles → identical schedule.
+	Seed int64
+	// DurationSec is the arrival-generation window: arrivals occur in
+	// [0, DurationSec); the run then drains. Default 3600.
+	DurationSec float64
+	// MaxConcurrent caps admitted (running) AMs. Default 4.
+	MaxConcurrent int
+	// MaxQueue is the backpressure threshold: a submission arriving with
+	// MaxQueue workflows already queued is rejected. Default 16.
+	MaxQueue int
+	// RetryAfterSec is the retry-after hint attached to rejections; the
+	// simulated client re-submits after this delay. Default 30.
+	RetryAfterSec float64
+	// RetryLimit is how many times a rejected submission retries before it
+	// is dropped. Default 1.
+	RetryLimit int
+	// Policy is the per-workflow scheduling policy (default fcfs).
+	Policy string
+	// AMNode optionally pins every workflow's AM container to one node.
+	AMNode string
+	// MaxTaskRetries is forwarded to each workflow's core.Config. Default 3.
+	MaxTaskRetries int
+	// Chaos, if set, injects task-level faults into every workflow.
+	Chaos chaos.Injector
+	// Hook, if set, observes the service lifecycle (the verify layer's
+	// admission-order auditor installs itself here).
+	Hook Hook
+}
+
+func (c *Config) setDefaults() {
+	if c.DurationSec <= 0 {
+		c.DurationSec = 3600
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.RetryAfterSec <= 0 {
+		c.RetryAfterSec = 30
+	}
+	if c.RetryLimit < 0 {
+		c.RetryLimit = 0
+	} else if c.RetryLimit == 0 {
+		c.RetryLimit = 1
+	}
+	if c.Policy == "" {
+		c.Policy = scheduler.PolicyFCFS
+	}
+	if c.MaxTaskRetries <= 0 {
+		c.MaxTaskRetries = 3
+	}
+}
+
+// Hook observes service lifecycle transitions. Hooks run synchronously
+// inside the service and must not call back into it.
+type Hook interface {
+	// OnQueued fires when a submission is accepted into the queue.
+	OnQueued(now float64, tenant, id string)
+	// OnRejected fires when backpressure rejects a submission attempt.
+	OnRejected(now float64, tenant, id string, retryAfterSec float64)
+	// OnAdmitted fires when a queued workflow is admitted (its AM launches).
+	OnAdmitted(now float64, tenant, id string)
+	// OnFinished fires when an admitted workflow terminates.
+	OnFinished(now float64, tenant, id string, succeeded bool)
+}
+
+// Account is one workflow's service-level record.
+type Account struct {
+	ID     string
+	Tenant string
+
+	SubmitAt float64 // first submission attempt
+	QueuedAt float64 // accepted into the queue (== last attempt's time)
+	AdmitAt  float64 // AM launched
+	EndAt    float64 // terminal
+
+	QueueWaitSec float64 // AdmitAt - QueuedAt
+	MakespanSec  float64 // EndAt - AdmitAt
+	E2ESec       float64 // EndAt - SubmitAt
+
+	Tasks      int
+	Rejections int  // rejected submission attempts
+	Admitted   bool // reached an AM launch
+	Succeeded  bool
+	Dropped    bool   // rejected past RetryLimit, never queued
+	Err        string // terminal error, if any
+}
+
+// pendingWF is a queued workflow awaiting admission.
+type pendingWF struct {
+	id      string
+	profile *TenantProfile
+	seq     int
+	acct    *Account
+	span    obs.SpanID
+}
+
+// Service runs the submission queue, admission control and accounting over
+// one materialized environment. Build with New, call Start, then drive the
+// engine to quiescence and read Stats.
+type Service struct {
+	eng      *sim.Engine
+	env      core.Env
+	cfg      Config
+	profiles []TenantProfile
+
+	queue    []*pendingWF
+	running  int
+	pumping  bool
+	accounts []*Account
+
+	tr *obs.Tracer
+
+	submittedC map[string]*obs.Counter // per tenant
+	rejectedC  map[string]*obs.Counter
+	admittedC  map[string]*obs.Counter
+	droppedC   *obs.Counter
+	completedC *obs.Counter
+	failedC    *obs.Counter
+	depthG     *obs.Gauge
+	runningG   *obs.Gauge
+	queueWaitH *obs.Histogram
+	e2eH       *obs.Histogram
+}
+
+// New validates the profiles and builds the service over the environment.
+// The environment's RM should be configured with TenantPolicies(profiles)
+// and Fair sharing for the quotas and weights to take effect.
+func New(eng *sim.Engine, env core.Env, cfg Config, profiles []TenantProfile) (*Service, error) {
+	cfg.setDefaults()
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("service: no tenant profiles")
+	}
+	seen := map[string]bool{}
+	for i := range profiles {
+		p := &profiles[i]
+		if p.Name == "" {
+			return nil, fmt.Errorf("service: profile %d has no name", i)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("service: duplicate tenant %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.RatePerSec <= 0 {
+			return nil, fmt.Errorf("service: tenant %q needs a positive arrival rate", p.Name)
+		}
+		if p.Burst <= 0 {
+			p.Burst = 1
+		}
+		p.Workload.setDefaults()
+		if err := p.Workload.validate(); err != nil {
+			return nil, fmt.Errorf("service: tenant %q: %w", p.Name, err)
+		}
+	}
+	s := &Service{eng: eng, env: env, cfg: cfg, profiles: profiles}
+	s.tr = env.Obs.T()
+	m := env.Obs.M()
+	s.submittedC = make(map[string]*obs.Counter, len(profiles))
+	s.rejectedC = make(map[string]*obs.Counter, len(profiles))
+	s.admittedC = make(map[string]*obs.Counter, len(profiles))
+	for _, p := range profiles {
+		s.submittedC[p.Name] = m.CounterL("hiway_svc_submissions_total",
+			"workflow submission attempts", "tenant", p.Name)
+		s.rejectedC[p.Name] = m.CounterL("hiway_svc_rejections_total",
+			"submission attempts rejected by backpressure", "tenant", p.Name)
+		s.admittedC[p.Name] = m.CounterL("hiway_svc_admitted_total",
+			"workflows admitted (AM launched)", "tenant", p.Name)
+	}
+	s.droppedC = m.Counter("hiway_svc_dropped_total", "workflows dropped after exhausting rejection retries")
+	s.completedC = m.Counter("hiway_svc_completed_total", "workflows that terminated successfully")
+	s.failedC = m.Counter("hiway_svc_failed_total", "workflows that terminated in failure")
+	s.depthG = m.Gauge("hiway_svc_queue_depth", "workflows currently queued for admission")
+	s.runningG = m.Gauge("hiway_svc_running", "workflows currently admitted and running")
+	s.queueWaitH = m.Histogram("hiway_svc_queue_wait_seconds",
+		"virtual seconds from queue entry to admission",
+		[]float64{1, 5, 10, 30, 60, 120, 300, 600, 1800})
+	s.e2eH = m.Histogram("hiway_svc_e2e_latency_seconds",
+		"virtual seconds from first submission to workflow end",
+		[]float64{30, 60, 120, 300, 600, 1800, 3600, 7200})
+	return s, nil
+}
+
+// arrival is one pre-generated submission instant.
+type arrival struct {
+	at      float64
+	profile int
+}
+
+// Start pre-generates the seeded arrival schedule and registers every
+// submission with the engine. The caller then drives the engine (Run) until
+// the service drains.
+func (s *Service) Start() {
+	var arrivals []arrival
+	for i := range s.profiles {
+		// Per-tenant substream: adding a tenant does not perturb the
+		// arrival times of the others.
+		rng := rand.New(rand.NewSource(s.cfg.Seed + int64(i+1)*0x9e3779b9))
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / s.profiles[i].RatePerSec
+			if t >= s.cfg.DurationSec {
+				break
+			}
+			arrivals = append(arrivals, arrival{at: t, profile: i})
+		}
+	}
+	sort.SliceStable(arrivals, func(a, b int) bool {
+		if arrivals[a].at != arrivals[b].at {
+			return arrivals[a].at < arrivals[b].at
+		}
+		return arrivals[a].profile < arrivals[b].profile
+	})
+	seq := make([]int, len(s.profiles))
+	for _, a := range arrivals {
+		p := &s.profiles[a.profile]
+		for b := 0; b < p.Burst; b++ {
+			w := &pendingWF{
+				id:      fmt.Sprintf("%s-w%03d", p.Name, seq[a.profile]),
+				profile: p,
+				seq:     seq[a.profile],
+			}
+			seq[a.profile]++
+			s.eng.At(a.at, func() { s.submitAttempt(w, 0) })
+		}
+	}
+}
+
+// submitAttempt is one client-side submission try (attempt 0 is the
+// arrival; later attempts are post-rejection retries).
+func (s *Service) submitAttempt(w *pendingWF, attempt int) {
+	now := s.eng.Now()
+	tenant := w.profile.Name
+	s.submittedC[tenant].Inc()
+	if attempt == 0 {
+		w.acct = &Account{ID: w.id, Tenant: tenant, SubmitAt: now}
+		s.accounts = append(s.accounts, w.acct)
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		// Backpressure: reject with a retry-after hint.
+		w.acct.Rejections++
+		s.rejectedC[tenant].Inc()
+		s.tr.Instant("svc", "rejected", "service")
+		if s.cfg.Hook != nil {
+			s.cfg.Hook.OnRejected(now, tenant, w.id, s.cfg.RetryAfterSec)
+		}
+		if attempt < s.cfg.RetryLimit {
+			s.eng.Schedule(s.cfg.RetryAfterSec, func() { s.submitAttempt(w, attempt+1) })
+			return
+		}
+		w.acct.Dropped = true
+		w.acct.EndAt = now
+		s.droppedC.Inc()
+		return
+	}
+	w.acct.QueuedAt = now
+	w.span = s.tr.BeginAsync("svc", w.id, "service", 0)
+	s.tr.Arg(w.span, "tenant", tenant)
+	s.queue = append(s.queue, w)
+	if s.cfg.Hook != nil {
+		s.cfg.Hook.OnQueued(now, tenant, w.id)
+	}
+	s.pump()
+}
+
+// pump admits queued workflows in strict FIFO order while the concurrency
+// budget allows. Admission never skips the queue head: if the head cannot
+// launch (AM capacity), the pump stalls until a running workflow finishes
+// and frees resources — head-of-line blocking is what preserves intra-tenant
+// admission order, one of the audited service invariants.
+func (s *Service) pump() {
+	if s.pumping {
+		return
+	}
+	s.pumping = true
+	defer func() { s.pumping = false }()
+	for s.running < s.cfg.MaxConcurrent && len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running++
+		if err := s.admit(w); err != nil {
+			s.running--
+			if s.running > 0 {
+				// Resources will free when a running AM finishes; put the
+				// head back and wait.
+				s.queue = append([]*pendingWF{w}, s.queue...)
+				break
+			}
+			// Nothing running and still unlaunchable: terminal failure.
+			s.terminate(w, false, err)
+		}
+	}
+	s.depthG.Set(float64(len(s.queue)))
+	s.runningG.Set(float64(s.running))
+}
+
+// admit stages the workflow's inputs and launches its AM. The caller has
+// already charged the concurrency budget.
+func (s *Service) admit(w *pendingWF) error {
+	now := s.eng.Now()
+	driver, inputs, err := buildWorkflow(w.profile, w.seq)
+	if err != nil {
+		return err
+	}
+	if err := workloads.Stage(s.env.FS, inputs); err != nil {
+		return err
+	}
+	sched, err := scheduler.New(s.cfg.Policy, scheduler.Deps{Locality: s.env.FS, Estimator: s.env.Prov})
+	if err != nil {
+		return err
+	}
+	w.acct.Tasks = len(driver.Graph().All())
+	w.acct.AdmitAt = now
+	w.acct.Admitted = true
+	w.acct.QueueWaitSec = now - w.acct.QueuedAt
+	s.admittedC[w.profile.Name].Inc()
+	s.queueWaitH.Observe(w.acct.QueueWaitSec)
+	s.tr.Arg(w.span, "admitted", "true")
+	if s.cfg.Hook != nil {
+		s.cfg.Hook.OnAdmitted(now, w.profile.Name, w.id)
+	}
+	cfg := core.Config{
+		WorkflowID: w.id,
+		Tenant:     w.profile.Name,
+		AMNode:     s.cfg.AMNode,
+		MaxRetries: s.cfg.MaxTaskRetries,
+		Chaos:      s.cfg.Chaos,
+		OnTerminal: func(rep *core.Report) { s.onTerminal(w, rep) },
+	}
+	if _, err := core.Launch(s.env, driver, sched, cfg); err != nil {
+		return err
+	}
+	return nil
+}
+
+// onTerminal settles the account when a workflow's AM reaches a terminal
+// report, then re-pumps the queue.
+func (s *Service) onTerminal(w *pendingWF, rep *core.Report) {
+	s.running--
+	var err error
+	if rep.Err != nil {
+		err = rep.Err
+	}
+	s.terminate(w, rep.Succeeded, err)
+	s.pump()
+}
+
+// terminate finalizes one workflow's account and metrics.
+func (s *Service) terminate(w *pendingWF, succeeded bool, err error) {
+	now := s.eng.Now()
+	w.acct.EndAt = now
+	w.acct.Succeeded = succeeded
+	if w.acct.Admitted {
+		w.acct.MakespanSec = now - w.acct.AdmitAt
+	}
+	w.acct.E2ESec = now - w.acct.SubmitAt
+	s.e2eH.Observe(w.acct.E2ESec)
+	if err != nil {
+		w.acct.Err = err.Error()
+	}
+	if succeeded {
+		s.completedC.Inc()
+	} else {
+		s.failedC.Inc()
+	}
+	s.tr.Arg(w.span, "succeeded", fmt.Sprintf("%v", succeeded))
+	s.tr.End(w.span)
+	if s.cfg.Hook != nil {
+		s.cfg.Hook.OnFinished(now, w.profile.Name, w.id, succeeded)
+	}
+	s.depthG.Set(float64(len(s.queue)))
+	s.runningG.Set(float64(s.running))
+}
+
+// QueueDepth returns the number of workflows waiting for admission.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Running returns the number of admitted, unfinished workflows.
+func (s *Service) Running() int { return s.running }
+
+// Accounts returns every workflow's record in submission order.
+func (s *Service) Accounts() []*Account {
+	out := append([]*Account(nil), s.accounts...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SubmitAt != out[j].SubmitAt {
+			return out[i].SubmitAt < out[j].SubmitAt
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

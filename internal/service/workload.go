@@ -1,0 +1,120 @@
+package service
+
+import (
+	"fmt"
+
+	"hiway/internal/wf"
+	"hiway/internal/workloads"
+)
+
+// Workload kinds the service can generate per submission.
+const (
+	// WorkloadSNV is the §4.1 variant-calling workflow (default).
+	WorkloadSNV = "snv"
+	// WorkloadTRAPLINE is the §4.2 RNA-seq workflow.
+	WorkloadTRAPLINE = "trapline"
+)
+
+// WorkloadSpec picks and sizes the DAG generator for a tenant's workflows.
+// The defaults are deliberately small: service runs execute many workflow
+// instances, so each is a scaled-down replica of the paper's DAG shapes.
+type WorkloadSpec struct {
+	// Kind is the generator: WorkloadSNV or WorkloadTRAPLINE.
+	Kind string
+	// Samples is the SNV sample count per workflow (default 1).
+	Samples int
+	// FilesPerSample is the SNV read-file fan-out (default 2).
+	FilesPerSample int
+	// FileSizeMB sizes each input file (default 64).
+	FileSizeMB float64
+	// CPUSeconds overrides every task's CPU demand (default 40).
+	CPUSeconds float64
+}
+
+func (w *WorkloadSpec) setDefaults() {
+	if w.Kind == "" {
+		w.Kind = WorkloadSNV
+	}
+	if w.Samples <= 0 {
+		w.Samples = 1
+	}
+	if w.FilesPerSample <= 0 {
+		w.FilesPerSample = 2
+	}
+	if w.FileSizeMB <= 0 {
+		w.FileSizeMB = 64
+	}
+	if w.CPUSeconds <= 0 {
+		w.CPUSeconds = 40
+	}
+}
+
+func (w *WorkloadSpec) validate() error {
+	switch w.Kind {
+	case WorkloadSNV, WorkloadTRAPLINE:
+		return nil
+	default:
+		return fmt.Errorf("unknown workload kind %q", w.Kind)
+	}
+}
+
+// buildWorkflow instantiates one workflow for a tenant's seq-th submission,
+// rebased under a per-instance path prefix so concurrent instances never
+// collide in HDFS.
+func buildWorkflow(p *TenantProfile, seq int) (wf.StaticDriver, []workloads.Input, error) {
+	spec := p.Workload
+	var driver wf.StaticDriver
+	var inputs []workloads.Input
+	switch spec.Kind {
+	case WorkloadSNV:
+		driver, inputs = workloads.SNV(workloads.SNVConfig{
+			Samples:            spec.Samples,
+			FilesPerSample:     spec.FilesPerSample,
+			FileSizeMB:         spec.FileSizeMB,
+			RefLocal:           true,
+			AlignCPUSeconds:    spec.CPUSeconds,
+			SortCPUSeconds:     spec.CPUSeconds,
+			CallCPUSeconds:     spec.CPUSeconds,
+			AnnotateCPUSeconds: spec.CPUSeconds,
+		})
+	case WorkloadTRAPLINE:
+		driver, inputs = workloads.TRAPLINE(workloads.TRAPLINEConfig{
+			LanesPerGroup:       1,
+			ReadsSizeMB:         spec.FileSizeMB,
+			TophatCPUSeconds:    spec.CPUSeconds,
+			CufflinksCPUSeconds: spec.CPUSeconds,
+			MergeCPUSeconds:     spec.CPUSeconds,
+			DiffCPUSeconds:      spec.CPUSeconds,
+		})
+	default:
+		return nil, nil, fmt.Errorf("service: unknown workload kind %q", spec.Kind)
+	}
+	prefix := fmt.Sprintf("/svc/%s/w%03d", p.Name, seq)
+	if err := rebase(driver, inputs, prefix); err != nil {
+		return nil, nil, err
+	}
+	return driver, inputs, nil
+}
+
+// rebase prefixes every task input, declared output, and staged input path
+// with the per-instance prefix. It parses the driver once to reach the task
+// graph; the AM's own Parse rebuilds the DAG over the rebased tasks.
+func rebase(d wf.StaticDriver, inputs []workloads.Input, prefix string) error {
+	if _, err := d.Parse(); err != nil {
+		return fmt.Errorf("service: parsing workflow for rebase: %w", err)
+	}
+	for _, t := range d.Graph().All() {
+		for i, in := range t.Inputs {
+			t.Inputs[i] = prefix + in
+		}
+		for _, fis := range t.Declared {
+			for i := range fis {
+				fis[i].Path = prefix + fis[i].Path
+			}
+		}
+	}
+	for i := range inputs {
+		inputs[i].Path = prefix + inputs[i].Path
+	}
+	return nil
+}

@@ -358,6 +358,18 @@ func CheckScenario(sc *Scenario, opts Options) *Result {
 		}
 	}
 
+	if sc.Service != nil {
+		run := runService(sc, opts.Tamper)
+		res.Runs = append(res.Runs, run)
+		r := &res.Runs[len(res.Runs)-1]
+		for _, v := range r.Violations {
+			res.Failures = append(res.Failures, fmt.Sprintf("service: %s", v))
+		}
+		if r.Err != "" {
+			res.Failures = append(res.Failures, fmt.Sprintf("service: %s", r.Err))
+		}
+	}
+
 	if !opts.SkipResume && baseline != nil {
 		frac := opts.ResumeFraction
 		if frac <= 0 || frac >= 1 {

@@ -71,6 +71,11 @@ type Scenario struct {
 	// attempt, so the fault-tolerance layer can always recover.
 	TimeoutFloorSec float64 `json:"timeoutFloorSec,omitempty"`
 	Speculate       bool    `json:"speculate,omitempty"`
+
+	// Service, when present, additionally runs an open-loop multi-tenant
+	// service load on the scenario's cluster (under the scenario's chaos
+	// plan) and audits the tenant-quota and admission-order invariants.
+	Service *ServiceSpec `json:"service,omitempty"`
 }
 
 // Iterative reports whether the scenario unfolds at run time, which static
@@ -111,6 +116,11 @@ func (s *Scenario) Clone() *Scenario {
 	c.Inputs = append([]InputSpec(nil), s.Inputs...)
 	c.Tasks = cloneSpecs(s.Tasks)
 	c.IterTasks = cloneSpecs(s.IterTasks)
+	if s.Service != nil {
+		sv := *s.Service
+		sv.Tenants = append([]ServiceTenantSpec(nil), s.Service.Tenants...)
+		c.Service = &sv
+	}
 	return &c
 }
 
@@ -243,6 +253,7 @@ func Generate(seed int64) *Scenario {
 	}
 
 	sc.genChaos(r)
+	sc.genService(r)
 	return sc
 }
 

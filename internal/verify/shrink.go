@@ -48,6 +48,16 @@ func Shrink(sc *Scenario, opts Options) ShrinkReport {
 		}
 	}
 
+	// 1b. Service tier gone? (The policy matrix and the service run are
+	// independent, so whichever one carries the failure survives.)
+	if cur.Service != nil {
+		cand := cur.Clone()
+		cand.Service = nil
+		if f := fails(cand); len(f) > 0 {
+			cur, last = cand, f
+		}
+	}
+
 	// 2. Shortest failing task prefix, by binary search. The search assumes
 	// prefix-monotonicity; when the failure is not monotone the final
 	// re-check below rejects a passing candidate and keeps the last known

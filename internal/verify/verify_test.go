@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hiway/internal/core"
+	"hiway/internal/yarn"
 )
 
 // TestGenerateDeterministic pins the generator contract: the same seed must
@@ -94,7 +95,7 @@ func TestIterativeScenarioSkipsStaticPolicies(t *testing.T) {
 		if staticPolicies[run.Policy] {
 			t.Fatalf("static policy %s ran an iterative scenario", run.Policy)
 		}
-		if run.Policy != "resume" && run.Executed != sc.TotalTasks() {
+		if run.Policy != "resume" && run.Policy != "service" && run.Executed != sc.TotalTasks() {
 			t.Fatalf("policy %s executed %d tasks, want %d", run.Policy, run.Executed, sc.TotalTasks())
 		}
 	}
@@ -163,6 +164,98 @@ func TestShrinkMinimizesReleaseSkewReproducer(t *testing.T) {
 	}
 	if len(CheckScenario(back, opts).Failures) == 0 {
 		t.Errorf("re-parsed reproducer does not fail")
+	}
+}
+
+// TestServiceScenariosGeneratedAndPass finds seeds that carry a service
+// tier and checks the tenant-quota and admission-order invariants hold on
+// them. A third of all seeds should carry one; 40 seeds make a missing
+// generator branch effectively impossible to miss.
+func TestServiceScenariosGeneratedAndPass(t *testing.T) {
+	found := 0
+	for seed := int64(1); seed <= 40 && found < 4; seed++ {
+		sc := Generate(seed)
+		if sc.Service == nil {
+			continue
+		}
+		found++
+		if len(sc.Service.Tenants) < 2 {
+			t.Fatalf("seed %d: service spec has %d tenants, want >= 2", seed, len(sc.Service.Tenants))
+		}
+		run := runService(sc, nil)
+		if run.Err != "" {
+			t.Fatalf("seed %d service run errored: %s", seed, run.Err)
+		}
+		if len(run.Violations) > 0 {
+			t.Fatalf("seed %d service run violated invariants: %v", seed, run.Violations)
+		}
+	}
+	if found == 0 {
+		t.Fatal("40 seeds never generated a service scenario")
+	}
+}
+
+// TestTenantAuditorDetectsQuotaBreach feeds the auditor a synthetic
+// allocation stream that exceeds the cap and checks the violation is
+// attributed to the tenant-quota invariant at the breaching event.
+func TestTenantAuditorDetectsQuotaBreach(t *testing.T) {
+	aud := NewTenantAuditor(map[string]yarn.TenantPolicy{"acme": {Weight: 1, MaxContainers: 2}})
+	c := func(id int64, tenant string, am bool) *yarn.Container {
+		return &yarn.Container{ID: id, NodeID: "node-01", Tenant: tenant, AM: am}
+	}
+	aud.OnContainerAllocated(1, c(1, "acme", false))
+	aud.OnContainerAllocated(2, c(2, "acme", true)) // AM: quota-exempt
+	aud.OnContainerAllocated(3, c(3, "acme", false))
+	if v := aud.Violations(); len(v) != 0 {
+		t.Fatalf("violations at cap: %v", v)
+	}
+	aud.OnContainerAllocated(4, c(4, "acme", false)) // breach
+	vs := aud.Violations()
+	if len(vs) != 1 || vs[0].Invariant != InvTenantQuota || vs[0].TimeSec != 4 {
+		t.Fatalf("breach not reported as %s at t=4: %v", InvTenantQuota, vs)
+	}
+}
+
+// TestOrderRecorderDetectsReordering checks the admission-order audit: an
+// intra-tenant swap and a concurrency-cap breach must both surface.
+func TestOrderRecorderDetectsReordering(t *testing.T) {
+	rec := newOrderRecorder()
+	rec.OnQueued(1, "acme", "acme-w000")
+	rec.OnQueued(2, "acme", "acme-w001")
+	rec.OnAdmitted(3, "acme", "acme-w001") // out of order
+	rec.OnAdmitted(4, "acme", "acme-w000")
+	vs := rec.check(5, 1)
+	if len(vs) != 2 {
+		t.Fatalf("want order + cap violations, got %v", vs)
+	}
+	for _, v := range vs {
+		if v.Invariant != InvAdmitOrder {
+			t.Fatalf("violation %v not attributed to %s", v, InvAdmitOrder)
+		}
+	}
+}
+
+// TestShrinkDropsServiceTier checks the shrinker removes the service tier
+// when the failure lives in the single-workflow matrix (the release-skew
+// tamper fires there too), keeping reproducers minimal.
+func TestShrinkDropsServiceTier(t *testing.T) {
+	opts := Options{Tamper: skewTamper, SkipResume: true, Policies: []string{"fcfs"}}
+	var sc *Scenario
+	for seed := int64(1); ; seed++ {
+		sc = Generate(seed)
+		if sc.Service == nil || sc.Iterative() {
+			continue
+		}
+		if len(CheckScenario(sc, opts).Failures) > 0 {
+			break
+		}
+	}
+	rep := Shrink(sc, opts)
+	if len(rep.Failures) == 0 {
+		t.Fatalf("shrink lost the failure")
+	}
+	if rep.Scenario.Service != nil {
+		t.Fatalf("minimized scenario kept its service tier:\n%s", rep.Scenario.Marshal())
 	}
 }
 

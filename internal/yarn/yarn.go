@@ -31,6 +31,11 @@ type Container struct {
 	NodeID   string
 	Resource Resource
 	AppID    int
+	// Tenant is the owning application's tenant ("" for untenanted apps).
+	Tenant string
+	// AM marks the application-master container; AM containers are exempt
+	// from per-tenant worker-container quotas.
+	AM bool
 
 	// OnLost, if set by the owning application, is invoked when the
 	// hosting node dies while the container is allocated.
@@ -70,8 +75,30 @@ type Config struct {
 	// Fair switches YARN's internal scheduler (§3.4 distinguishes it from
 	// Hi-WAY's workflow scheduler) from FIFO to fair sharing: allocation
 	// rounds serve one request per application in turn, so a workflow
-	// with many queued requests cannot starve a smaller one.
+	// with many queued requests cannot starve a smaller one. With Tenants
+	// configured, fair sharing additionally weights the order across
+	// tenants (see TenantPolicy).
 	Fair bool
+	// Tenants configures per-tenant fair-share weights and hard quota caps
+	// for the multi-tenant service tier. Tenants absent from the map get
+	// weight 1 and no cap. Quota caps are enforced regardless of Fair;
+	// tenant-weighted ordering applies only when Fair is set.
+	Tenants map[string]TenantPolicy
+}
+
+// TenantPolicy tunes one tenant's share of the cluster.
+type TenantPolicy struct {
+	// Weight is the tenant's fair-share weight: each allocation round
+	// serves up to Weight of the tenant's requests before moving on.
+	// Weight 0 declares a background tenant, ordered after every
+	// positively weighted tenant's requests. Tenants absent from
+	// Config.Tenants default to weight 1.
+	Weight int
+	// MaxContainers caps the tenant's concurrently allocated worker
+	// containers across all of its applications — a hard quota the
+	// allocator never exceeds, even when the cluster is otherwise idle.
+	// AM containers are exempt. 0 means no cap.
+	MaxContainers int
 }
 
 func (c *Config) setDefaults() {
@@ -128,6 +155,10 @@ type ResourceManager struct {
 	order   []string // node IDs in deterministic order
 	pending []*pendingReq
 	apps    map[int]*Application
+
+	// tenantUse counts live worker containers per tenant (AM containers
+	// are exempt) — the quantity quota caps bound.
+	tenantUse map[string]int
 
 	nextApp       int
 	nextContainer int64
@@ -189,10 +220,11 @@ func (rm *ResourceManager) SetReleaseSkewForTesting(skew int) { rm.releaseSkew =
 func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, cfg Config) *ResourceManager {
 	cfg.setDefaults()
 	rm := &ResourceManager{
-		eng:  eng,
-		cfg:  cfg,
-		nms:  make(map[string]*nodeManager),
-		apps: make(map[int]*Application),
+		eng:       eng,
+		cfg:       cfg,
+		nms:       make(map[string]*nodeManager),
+		apps:      make(map[int]*Application),
+		tenantUse: make(map[string]int),
 	}
 	for _, n := range c.Nodes() {
 		rm.nms[n.ID] = &nodeManager{
@@ -212,17 +244,28 @@ type Application struct {
 	rm   *ResourceManager
 	ID   int
 	Name string
+	// Tenant is the submitting tenant ("" for untenanted apps); worker
+	// containers of the application count against the tenant's quota.
+	Tenant string
 	// AMContainer hosts the application master itself.
 	AMContainer *Container
 	finished    bool
 }
 
-// SubmitApplication registers an application and synchronously allocates
-// its AM container on the emptiest node (or a specific node if amNode is
-// non-empty). It fails if no node can host the AM.
+// SubmitApplication registers an untenanted application and synchronously
+// allocates its AM container on the emptiest node (or a specific node if
+// amNode is non-empty). It fails if no node can host the AM.
 func (rm *ResourceManager) SubmitApplication(name, amNode string) (*Application, error) {
+	return rm.SubmitApplicationFor("", name, amNode)
+}
+
+// SubmitApplicationFor registers an application on behalf of a tenant. The
+// tenant's policy in Config.Tenants (if any) governs the fair-share weight
+// and quota cap of the application's worker containers; the AM container
+// itself is exempt from the quota.
+func (rm *ResourceManager) SubmitApplicationFor(tenant, name, amNode string) (*Application, error) {
 	rm.nextApp++
-	app := &Application{rm: rm, ID: rm.nextApp, Name: name}
+	app := &Application{rm: rm, ID: rm.nextApp, Name: name, Tenant: tenant}
 	var nm *nodeManager
 	if amNode != "" {
 		cand := rm.nms[amNode]
@@ -239,7 +282,7 @@ func (rm *ResourceManager) SubmitApplication(name, amNode string) (*Application,
 			return nil, fmt.Errorf("yarn: no capacity for AM container %v", rm.cfg.AMResource)
 		}
 	}
-	app.AMContainer = rm.allocateOn(nm, app, rm.cfg.AMResource)
+	app.AMContainer = rm.allocateOn(nm, app, rm.cfg.AMResource, true)
 	rm.apps[app.ID] = app
 	return app, nil
 }
@@ -288,6 +331,7 @@ func (a *Application) Release(c *Container) {
 	}
 	c.released = true
 	a.rm.obs.T().End(c.span)
+	a.rm.creditTenant(c)
 	nm := a.rm.nms[c.NodeID]
 	if nm != nil {
 		delete(nm.running, c.ID)
@@ -334,21 +378,26 @@ func (rm *ResourceManager) kick() {
 }
 
 // allocate matches pending requests to free capacity — in FIFO order, or
-// round-robin across applications when fair sharing is configured.
+// (tenant-weighted) round-robin across applications when fair sharing is
+// configured. Requests of tenants at their quota cap are passed over and
+// stay pending; releasing one of the tenant's containers re-kicks the round.
 func (rm *ResourceManager) allocate() {
 	order := rm.pending
 	if rm.cfg.Fair {
-		order = fairOrder(rm.pending)
+		order = fairOrder(rm.pending, rm.cfg.Tenants)
 	}
 	var satisfied []*pendingReq
 	var containers []*Container
 	taken := make(map[*pendingReq]bool)
 	for _, p := range order {
+		if rm.tenantAtCap(p.app.Tenant) {
+			continue
+		}
 		nm := rm.pickNode(p.req.Resource, p.req.NodeHint, p.req.Strict)
 		if nm == nil {
 			continue
 		}
-		c := rm.allocateOn(nm, p.app, p.req.Resource)
+		c := rm.allocateOn(nm, p.app, p.req.Resource, false)
 		rm.allocLatH.Observe(rm.eng.Now() - p.at)
 		taken[p] = true
 		satisfied = append(satisfied, p)
@@ -369,27 +418,111 @@ func (rm *ResourceManager) allocate() {
 	}
 }
 
-// fairOrder interleaves pending requests round-robin across applications
-// (apps ordered by ID, requests within an app in arrival order).
-func fairOrder(pending []*pendingReq) []*pendingReq {
-	perApp := make(map[int][]*pendingReq)
-	var appIDs []int
+// fairOrder orders pending requests for one allocation round. Within a
+// tenant, requests interleave round-robin across applications (apps ordered
+// by ID, requests within an app in arrival order). Across tenants, each
+// round serves up to Weight requests per positively weighted tenant
+// (tenants in name order); zero-weight (background) tenants follow after
+// every weighted tenant's requests, one per round. Without tenant
+// configuration every application belongs to the anonymous weight-1 tenant
+// and the order degenerates to the classic per-application round-robin.
+func fairOrder(pending []*pendingReq, tenants map[string]TenantPolicy) []*pendingReq {
+	// Group by tenant, then flatten each tenant into its own
+	// per-application round-robin stream.
+	perTenant := make(map[string]map[int][]*pendingReq)
+	var names []string
 	for _, p := range pending {
-		if _, ok := perApp[p.app.ID]; !ok {
-			appIDs = append(appIDs, p.app.ID)
+		tn := p.app.Tenant
+		apps, ok := perTenant[tn]
+		if !ok {
+			apps = make(map[int][]*pendingReq)
+			perTenant[tn] = apps
+			names = append(names, tn)
 		}
-		perApp[p.app.ID] = append(perApp[p.app.ID], p)
+		apps[p.app.ID] = append(apps[p.app.ID], p)
 	}
-	sort.Ints(appIDs)
+	sort.Strings(names)
+	streams := make(map[string][]*pendingReq, len(names))
+	for tn, apps := range perTenant {
+		ids := make([]int, 0, len(apps))
+		total := 0
+		for id, q := range apps {
+			ids = append(ids, id)
+			total += len(q)
+		}
+		sort.Ints(ids)
+		s := make([]*pendingReq, 0, total)
+		for round := 0; len(s) < total; round++ {
+			for _, id := range ids {
+				if q := apps[id]; round < len(q) {
+					s = append(s, q[round])
+				}
+			}
+		}
+		streams[tn] = s
+	}
+	weight := func(tn string) int {
+		pol, ok := tenants[tn]
+		if !ok {
+			return 1
+		}
+		if pol.Weight < 0 {
+			return 0
+		}
+		return pol.Weight
+	}
 	out := make([]*pendingReq, 0, len(pending))
-	for round := 0; len(out) < len(pending); round++ {
-		for _, id := range appIDs {
-			if q := perApp[id]; round < len(q) {
-				out = append(out, q[round])
+	idx := make(map[string]int, len(names))
+	// Weighted tenants: up to Weight requests per tenant per round.
+	for {
+		progressed := false
+		for _, tn := range names {
+			w := weight(tn)
+			for k := 0; k < w && idx[tn] < len(streams[tn]); k++ {
+				out = append(out, streams[tn][idx[tn]])
+				idx[tn]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Background (zero-weight) tenants: whatever remains, one per round.
+	for len(out) < len(pending) {
+		for _, tn := range names {
+			if idx[tn] < len(streams[tn]) {
+				out = append(out, streams[tn][idx[tn]])
+				idx[tn]++
 			}
 		}
 	}
 	return out
+}
+
+// tenantAtCap reports whether the tenant's worker-container quota is
+// exhausted. Untenanted and uncapped tenants are never at cap.
+func (rm *ResourceManager) tenantAtCap(tenant string) bool {
+	pol, ok := rm.cfg.Tenants[tenant]
+	if !ok || pol.MaxContainers <= 0 {
+		return false
+	}
+	return rm.tenantUse[tenant] >= pol.MaxContainers
+}
+
+// creditTenant returns a worker container's quota slot to its tenant.
+func (rm *ResourceManager) creditTenant(c *Container) {
+	if c.AM || c.Tenant == "" {
+		return
+	}
+	rm.tenantUse[c.Tenant]--
+}
+
+// TenantContainers returns the number of live (allocated, unreleased)
+// worker containers currently charged to the tenant — the quantity
+// TenantPolicy.MaxContainers caps. AM containers are exempt.
+func (rm *ResourceManager) TenantContainers(tenant string) int {
+	return rm.tenantUse[tenant]
 }
 
 // pickNode chooses a node for the resource. With strict placement only the
@@ -422,12 +555,15 @@ func (rm *ResourceManager) pickNode(res Resource, hint string, strict bool) *nod
 	return best
 }
 
-func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Resource) *Container {
+func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Resource, am bool) *Container {
 	nm.freeCores -= res.VCores
 	nm.freeMem -= res.MemMB
 	rm.nextContainer++
 	rm.Allocated++
-	c := &Container{ID: rm.nextContainer, NodeID: nm.id, Resource: res, AppID: app.ID}
+	c := &Container{ID: rm.nextContainer, NodeID: nm.id, Resource: res, AppID: app.ID, Tenant: app.Tenant, AM: am}
+	if !am && app.Tenant != "" {
+		rm.tenantUse[app.Tenant]++
+	}
 	nm.running[c.ID] = c
 	rm.allocatedC.Inc()
 	rm.nodeAllocCs[nm.id].Inc()
@@ -467,6 +603,9 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	nm.running = make(map[int64]*Container)
 	for _, c := range lost {
 		c.released = true
+		// The node's capacity is gone, but the tenant's quota slot frees:
+		// the container no longer runs anywhere.
+		rm.creditTenant(c)
 		rm.lostC.Inc()
 		if rm.audit != nil {
 			rm.audit.OnContainerLost(rm.eng.Now(), c)

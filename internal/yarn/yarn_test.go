@@ -315,7 +315,7 @@ func TestFairOrderRoundRobin(t *testing.T) {
 		return &pendingReq{app: app, seq: seq}
 	}
 	pending := []*pendingReq{mk(a1, 1), mk(a1, 2), mk(a1, 3), mk(a2, 4), mk(a2, 5)}
-	got := fairOrder(pending)
+	got := fairOrder(pending, nil)
 	wantApps := []int{1, 2, 1, 2, 1}
 	if len(got) != 5 {
 		t.Fatalf("len = %d", len(got))
@@ -324,6 +324,215 @@ func TestFairOrderRoundRobin(t *testing.T) {
 		if got[i].app.ID != w {
 			t.Fatalf("position %d: app %d, want %d", i, got[i].app.ID, w)
 		}
+	}
+}
+
+// TestFairOrderTenantTable pins the tenant-weighted ordering contract with
+// table-driven edge cases: weighted interleave, the single-tenant degenerate
+// case (plain per-app round-robin), and zero-weight background tenants
+// ordered strictly after every weighted tenant's requests.
+func TestFairOrderTenantTable(t *testing.T) {
+	app := func(id int, tenant string) *Application { return &Application{ID: id, Tenant: tenant} }
+	cases := []struct {
+		name    string
+		tenants map[string]TenantPolicy
+		reqs    []*Application // one pending request per entry, arrival order
+		want    []int          // expected app IDs in fair order
+	}{
+		{
+			name:    "single tenant degenerates to per-app round-robin",
+			tenants: map[string]TenantPolicy{"acme": {Weight: 3}},
+			reqs: []*Application{
+				app(1, "acme"), app(1, "acme"), app(2, "acme"), app(2, "acme"), app(1, "acme"),
+			},
+			want: []int{1, 2, 1, 2, 1},
+		},
+		{
+			name:    "weight 2 tenant gets two slots per round",
+			tenants: map[string]TenantPolicy{"big": {Weight: 2}, "small": {Weight: 1}},
+			reqs: []*Application{
+				app(1, "big"), app(1, "big"), app(1, "big"), app(1, "big"),
+				app(2, "small"), app(2, "small"),
+			},
+			want: []int{1, 1, 2, 1, 1, 2},
+		},
+		{
+			name:    "unconfigured tenants default to weight 1",
+			tenants: nil,
+			reqs: []*Application{
+				app(1, "a"), app(1, "a"), app(2, "b"), app(2, "b"),
+			},
+			want: []int{1, 2, 1, 2},
+		},
+		{
+			name:    "zero-weight tenant is ordered after all weighted requests",
+			tenants: map[string]TenantPolicy{"bg": {Weight: 0}, "fg": {Weight: 1}},
+			reqs: []*Application{
+				app(1, "bg"), app(1, "bg"), app(2, "fg"), app(2, "fg"),
+			},
+			want: []int{2, 2, 1, 1},
+		},
+		{
+			name:    "negative weight treated as background",
+			tenants: map[string]TenantPolicy{"neg": {Weight: -1}, "fg": {Weight: 1}},
+			reqs: []*Application{
+				app(1, "neg"), app(2, "fg"),
+			},
+			want: []int{2, 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var pending []*pendingReq
+			for i, a := range tc.reqs {
+				pending = append(pending, &pendingReq{app: a, seq: int64(i + 1)})
+			}
+			got := fairOrder(pending, tc.tenants)
+			if len(got) != len(tc.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tc.want))
+			}
+			for i, w := range tc.want {
+				if got[i].app.ID != w {
+					ids := make([]int, len(got))
+					for j, p := range got {
+						ids[j] = p.app.ID
+					}
+					t.Fatalf("order %v, want %v", ids, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestTenantQuotaCap exercises the hard quota path end to end: a capped
+// tenant never holds more than MaxContainers worker containers at any
+// instant, even with idle cluster capacity, and a queued request is served
+// as soon as a slot frees.
+func TestTenantQuotaCap(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{
+		Fair:    true,
+		Tenants: map[string]TenantPolicy{"capped": {Weight: 1, MaxContainers: 2}},
+	})
+	appc, err := rm.SubmitApplicationFor("capped", "wf", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resource{VCores: 1, MemMB: 512}
+	var got []*Container
+	for i := 0; i < 4; i++ {
+		appc.Request(Request{Resource: res}, func(c *Container) { got = append(got, c) })
+	}
+	eng.RunUntil(1)
+	if len(got) != 2 {
+		t.Fatalf("allocated %d containers, want quota cap 2", len(got))
+	}
+	if n := rm.TenantContainers("capped"); n != 2 {
+		t.Fatalf("TenantContainers = %d, want 2", n)
+	}
+	// Releasing one frees a quota slot; the pending request is served on the
+	// next heartbeat.
+	appc.Release(got[0])
+	eng.RunUntil(2)
+	if len(got) != 3 {
+		t.Fatalf("allocated %d containers after release, want 3", len(got))
+	}
+	if n := rm.TenantContainers("capped"); n != 2 {
+		t.Fatalf("TenantContainers after release = %d, want 2", n)
+	}
+}
+
+// TestTenantQuotaAllExhaustedFallback covers the all-quota-exhausted round:
+// when every pending request belongs to a tenant at its cap, the allocation
+// round allocates nothing and keeps the queue intact — and an uncapped
+// tenant's requests still flow around the stalled ones.
+func TestTenantQuotaAllExhaustedFallback(t *testing.T) {
+	eng, rm := newRM(t, 2, spec4(), Config{
+		Fair: true,
+		Tenants: map[string]TenantPolicy{
+			"a": {Weight: 1, MaxContainers: 1},
+			"b": {Weight: 1, MaxContainers: 1},
+		},
+	})
+	appa, err := rm.SubmitApplicationFor("a", "wa", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appb, err := rm.SubmitApplicationFor("b", "wb", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resource{VCores: 1, MemMB: 512}
+	allocated := 0
+	for i := 0; i < 3; i++ {
+		appa.Request(Request{Resource: res}, func(*Container) { allocated++ })
+		appb.Request(Request{Resource: res}, func(*Container) { allocated++ })
+	}
+	eng.RunUntil(1)
+	if allocated != 2 {
+		t.Fatalf("allocated %d, want one per capped tenant", allocated)
+	}
+	if n := appa.PendingRequests() + appb.PendingRequests(); n != 4 {
+		t.Fatalf("pending = %d, want 4 kept while both tenants at cap", n)
+	}
+	// A third, uncapped tenant is not blocked by the exhausted ones.
+	appc, err := rm.SubmitApplicationFor("c", "wc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cGot := 0
+	appc.Request(Request{Resource: res}, func(*Container) { cGot++ })
+	eng.RunUntil(2)
+	if cGot != 1 {
+		t.Fatalf("uncapped tenant got %d containers, want 1", cGot)
+	}
+}
+
+// TestFairAllocationAppFinishMidRound covers an application finishing from
+// inside an allocation callback of the same round: its remaining pending
+// requests are dropped, later rounds never serve them, and the AM container
+// frees its resources without disturbing the sibling tenant.
+func TestFairAllocationAppFinishMidRound(t *testing.T) {
+	eng, rm := newRM(t, 1, cluster.NodeSpec{VCores: 6, MemMB: 8192, CPUFactor: 1, DiskMBps: 1, NetMBps: 1},
+		Config{Fair: true, Tenants: map[string]TenantPolicy{"a": {Weight: 1}, "b": {Weight: 1}}})
+	app1, err := rm.SubmitApplicationFor("a", "wa", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := rm.SubmitApplicationFor("b", "wb", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resource{VCores: 1, MemMB: 512}
+	var app1Got, app2Got int
+	for i := 0; i < 5; i++ {
+		app1.Request(Request{Resource: res}, func(*Container) {
+			app1Got++
+			if app1Got == 1 {
+				app1.Finish() // finish mid-round, with requests still queued
+			}
+		})
+	}
+	for i := 0; i < 2; i++ {
+		app2.Request(Request{Resource: res}, func(*Container) { app2Got++ })
+	}
+	// Round 1 fits 4 workers (6 cores - 2 AMs); fair order interleaves
+	// a,b,a,b, so both apps land 2 each before app1 finishes dropping its
+	// 3 still-pending requests.
+	eng.Run()
+	if app1Got != 2 {
+		t.Fatalf("app1 allocations = %d, want 2 (round-1 allocations only)", app1Got)
+	}
+	if app2Got != 2 {
+		t.Fatalf("app2 allocations = %d, want 2", app2Got)
+	}
+	if n := app1.PendingRequests(); n != 0 {
+		t.Fatalf("app1 pending = %d, want 0 after mid-round Finish", n)
+	}
+	// app1's AM core is back; the sibling tenant can still allocate.
+	app2.Request(Request{Resource: res}, func(*Container) { app2Got++ })
+	eng.Run()
+	if app2Got != 3 {
+		t.Fatalf("app2 allocations after AM release = %d, want 3", app2Got)
 	}
 }
 
