@@ -225,3 +225,27 @@ func BenchmarkServiceLoad(b *testing.B) {
 		b.ReportMetric(last.RejectionRate, "rej-rate")
 	}
 }
+
+// BenchmarkElastic runs the elastic ladder — static over-provisioning vs.
+// reactive and predictive autoscaling, each with and without 30% spot-reclaim
+// chaos (set HIWAY_SCALE_FULL=1 for the full arrival window) — and writes the
+// measurements to BENCH_elastic.json. The figures of merit are goodput
+// retained under preemption chaos and cost units spent earning it: the
+// elastic policies must hold goodput near their chaos-free baseline while
+// billing well under the static fleet.
+func BenchmarkElastic(b *testing.B) {
+	full := os.Getenv("HIWAY_SCALE_FULL") != ""
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ElasticSweep(experiments.ElasticSweepConfigs(full))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_elastic.json", res.JSON(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.GoodputPerHour, "goodput/h")
+		b.ReportMetric(last.CostUnits, "cost-units")
+		b.ReportMetric(float64(last.Preempted), "preempted")
+	}
+}

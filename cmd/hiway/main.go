@@ -71,6 +71,8 @@ func main() {
 		err = runVerify(os.Args[2:])
 	case "load":
 		err = runLoad(os.Args[2:])
+	case "elastic":
+		err = runElastic(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -116,6 +118,16 @@ func usage() {
       multi-tenant service load: an open-loop tenant mix submits workflows
       through admission control onto one simulated cluster; -ladder sweeps
       the arrival rate and emits the BENCH_service.json points
+
+  hiway elastic [-seed N] [-duration SEC] [-rate X] [-autoscale P]
+                [-static-nodes N] [-min-nodes N] [-max-nodes N]
+                [-spot-rate R] [-spot-notice SEC] [-spot-every SEC]
+                [-task-cpu SEC] [-max-concurrent N] [-max-queue N]
+                [-metrics FILE.prom] [-ladder] [-full] [-json FILE.json]
+      elastic cluster under churn: the service-tier tenant mix runs on a
+      fleet sized by an autoscaling policy (static, reactive, predictive)
+      with graceful node drains and optional spot-preemption chaos; -ladder
+      sweeps the policy grid and emits the BENCH_elastic.json points
 
 Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), trace (.jsonl)
 Scheduling policies: fcfs, dataaware (default), roundrobin, heft, adaptive
@@ -533,6 +545,95 @@ func runVerify(args []string) error {
 // per-workflow accounting is printed when the run drains. Same-seed runs
 // print byte-identical reports. With -ladder the arrival rate is swept and
 // the measured points are emitted as BENCH_service.json.
+func runElastic(args []string) error {
+	fs := flag.NewFlagSet("elastic", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "seed for arrivals, autoscaling draws, and the simulated substrate")
+	duration := fs.Float64("duration", 1800, "arrival window in simulated seconds")
+	rate := fs.Float64("rate", 1, "arrival-rate multiplier over the base tenant mix")
+	autoscale := fs.String("autoscale", "static", "fleet sizing policy: static, reactive, or predictive")
+	staticNodes := fs.Int("static-nodes", 10, "fixed fleet size for the static policy")
+	minNodes := fs.Int("min-nodes", 2, "elastic fleet floor (and starting size)")
+	maxNodes := fs.Int("max-nodes", 12, "elastic fleet ceiling")
+	spotRate := fs.Float64("spot-rate", 0, "per-check spot reclaim probability per spot node (0 disables chaos)")
+	spotNotice := fs.Float64("spot-notice", 120, "seconds between spot preemption notice and reclaim")
+	spotEvery := fs.Float64("spot-every", 60, "seconds between spot market checks")
+	taskCPU := fs.Float64("task-cpu", 180, "CPU seconds per workflow task")
+	maxConcurrent := fs.Int("max-concurrent", 4, "admission cap: concurrently running AMs")
+	maxQueue := fs.Int("max-queue", 16, "backpressure threshold: queued workflows before rejection")
+	metricsPath := fs.String("metrics", "", "write a Prometheus text metrics snapshot to this file")
+	ladder := fs.Bool("ladder", false, "sweep the policy x chaos grid instead of a single run")
+	full := fs.Bool("full", false, "with -ladder: run the full-length arrival window")
+	jsonPath := fs.String("json", "", "with -ladder: write the ladder points JSON to this file")
+	fs.Parse(args)
+
+	cfg := experiments.ElasticLoadConfig{
+		Seed:           *seed,
+		DurationSec:    *duration,
+		RateX:          *rate,
+		Autoscale:      *autoscale,
+		StaticNodes:    *staticNodes,
+		MinNodes:       *minNodes,
+		MaxNodes:       *maxNodes,
+		SpotRate:       *spotRate,
+		SpotNoticeSec:  *spotNotice,
+		SpotEverySec:   *spotEvery,
+		TaskCPUSeconds: *taskCPU,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+	}
+
+	if *ladder {
+		cfgs := experiments.ElasticSweepConfigs(*full)
+		for i := range cfgs {
+			pol, spot, dur := cfgs[i].Autoscale, cfgs[i].SpotRate, cfgs[i].DurationSec
+			cfgs[i] = cfg
+			cfgs[i].Autoscale = pol
+			cfgs[i].SpotRate = spot
+			cfgs[i].DurationSec = dur
+		}
+		res, err := experiments.ElasticSweep(cfgs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if *jsonPath != "" {
+			if err := os.WriteFile(*jsonPath, res.JSON(), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("ladder:", *jsonPath)
+		}
+		return nil
+	}
+
+	cfg.WithObs = *metricsPath != ""
+	run, err := experiments.ElasticLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("elastic load: seed %d, %s autoscaling, %.0fs window, rate x%g\n",
+		cfg.Seed, cfg.Autoscale, cfg.DurationSec, cfg.RateX)
+	if cfg.SpotRate > 0 {
+		fmt.Printf("spot chaos: rate %g, notice %.0fs, every %.0fs\n",
+			cfg.SpotRate, cfg.SpotNoticeSec, cfg.SpotEverySec)
+	}
+	fmt.Print(run.Render())
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := run.Obs.M().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("metrics:", *metricsPath)
+	}
+	return nil
+}
+
 func runLoad(args []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "seed for arrivals and the simulated substrate")

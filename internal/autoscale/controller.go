@@ -1,0 +1,162 @@
+package autoscale
+
+import (
+	"hiway/internal/obs"
+	"hiway/internal/sim"
+)
+
+// ControllerConfig tunes the autoscaling control loop.
+type ControllerConfig struct {
+	// IntervalSec is the evaluation period. Default 30s.
+	IntervalSec float64
+	// CooldownSec is the minimum gap between two scale actions. Default 90s.
+	CooldownSec float64
+	// UpAfter is how many consecutive evaluations must want a larger
+	// cluster before scaling up. Default 2.
+	UpAfter int
+	// DownAfter is how many consecutive evaluations must want a smaller
+	// cluster before scaling down — more conservative than UpAfter so a
+	// brief lull does not shed capacity a burst still needs. Default 4.
+	DownAfter int
+	// MinNodes and MaxNodes clamp the desired size. MinNodes defaults to 1;
+	// MaxNodes defaults to unbounded.
+	MinNodes int
+	MaxNodes int
+	// SpotScaleOut makes scale-ups join spot nodes (cheap, reclaimable)
+	// instead of on-demand ones.
+	SpotScaleOut bool
+	// HorizonSec stops the loop after this virtual time, letting the
+	// engine quiesce. Required: a controller without a horizon would tick
+	// forever.
+	HorizonSec float64
+	// Done, when set, stops the loop early (e.g. when the service window
+	// closed and the queue drained).
+	Done func() bool
+}
+
+// Controller periodically evaluates a Policy against live Signals and
+// resizes the cluster through the Manager, with hysteresis (consecutive
+// evaluations must agree before acting) and a cooldown between actions so
+// bursty arrivals do not make membership flap.
+type Controller struct {
+	eng *sim.Engine
+	m   *Manager
+	pol Policy
+	sig func() Signals
+	cfg ControllerConfig
+
+	lastAction float64
+	lastDir    int // +1 grew, -1 shrank, 0 never acted
+	upStreak   int
+	downStreak int
+
+	// lifetime statistics, readable after a run
+	ScaleUps, ScaleDowns, Flaps, Evals int
+
+	desiredG *obs.Gauge
+	actualG  *obs.Gauge
+	upsC     *obs.Counter
+	downsC   *obs.Counter
+	flapsC   *obs.Counter
+}
+
+// NewController builds a control loop over the manager. sig is consulted
+// once per evaluation.
+func NewController(eng *sim.Engine, m *Manager, pol Policy, sig func() Signals, cfg ControllerConfig) *Controller {
+	if cfg.IntervalSec <= 0 {
+		cfg.IntervalSec = 30
+	}
+	if cfg.CooldownSec <= 0 {
+		cfg.CooldownSec = 90
+	}
+	if cfg.UpAfter <= 0 {
+		cfg.UpAfter = 2
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 4
+	}
+	if cfg.MinNodes <= 0 {
+		cfg.MinNodes = 1
+	}
+	return &Controller{eng: eng, m: m, pol: pol, sig: sig, cfg: cfg, lastAction: -cfg.CooldownSec}
+}
+
+// SetObs attaches the hiway_autoscale_* metrics. A nil o (the default)
+// disables them.
+func (c *Controller) SetObs(o *obs.Obs) {
+	m := o.M()
+	c.desiredG = m.Gauge("hiway_autoscale_desired_nodes", "cluster size the policy wants")
+	c.actualG = m.Gauge("hiway_autoscale_actual_nodes", "cluster size eligible for allocations")
+	c.upsC = m.Counter("hiway_autoscale_scale_ups_total", "scale-up actions taken")
+	c.downsC = m.Counter("hiway_autoscale_scale_downs_total", "scale-down actions taken")
+	c.flapsC = m.Counter("hiway_autoscale_flaps_total", "scale actions that reversed the previous direction")
+}
+
+// Start schedules the first evaluation one interval from now. The loop
+// re-arms itself until HorizonSec passes or Done reports true.
+func (c *Controller) Start() {
+	c.eng.Schedule(c.cfg.IntervalSec, c.tick)
+}
+
+func (c *Controller) tick() {
+	if c.cfg.Done != nil && c.cfg.Done() {
+		return
+	}
+	c.evaluate()
+	if c.eng.Now()+c.cfg.IntervalSec <= c.cfg.HorizonSec {
+		c.eng.Schedule(c.cfg.IntervalSec, c.tick)
+	}
+}
+
+func (c *Controller) evaluate() {
+	c.Evals++
+	now := c.eng.Now()
+	cur := c.m.Size()
+	des := c.pol.Desired(now, c.sig(), cur)
+	if des < c.cfg.MinNodes {
+		des = c.cfg.MinNodes
+	}
+	if c.cfg.MaxNodes > 0 && des > c.cfg.MaxNodes {
+		des = c.cfg.MaxNodes
+	}
+	c.desiredG.Set(float64(des))
+	c.actualG.Set(float64(cur))
+	switch {
+	case des > cur:
+		c.upStreak++
+		c.downStreak = 0
+	case des < cur:
+		c.downStreak++
+		c.upStreak = 0
+	default:
+		c.upStreak = 0
+		c.downStreak = 0
+		return
+	}
+	if now-c.lastAction < c.cfg.CooldownSec {
+		return
+	}
+	if des > cur && c.upStreak >= c.cfg.UpAfter {
+		c.m.AddNodes(des-cur, c.cfg.SpotScaleOut)
+		c.ScaleUps++
+		c.upsC.Inc()
+		if c.lastDir == -1 {
+			c.Flaps++
+			c.flapsC.Inc()
+		}
+		c.lastDir = 1
+		c.lastAction = now
+		c.upStreak = 0
+	} else if des < cur && c.downStreak >= c.cfg.DownAfter {
+		c.m.RemoveNodes(cur - des)
+		c.ScaleDowns++
+		c.downsC.Inc()
+		if c.lastDir == 1 {
+			c.Flaps++
+			c.flapsC.Inc()
+		}
+		c.lastDir = -1
+		c.lastAction = now
+		c.downStreak = 0
+	}
+}

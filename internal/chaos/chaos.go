@@ -77,8 +77,11 @@ type TaskRule struct {
 type NodeEvent struct {
 	Node  string
 	AtSec float64
-	Kind  string // "kill" or "slow"
+	Kind  string // "kill", "slow", or "spot"
 	Hogs  int    // for "slow": background CPU hogs to add
+	// NoticeSec is the notice→reclaim gap for "spot" events; negative means
+	// the plan-wide SpotNoticeSec default applies.
+	NoticeSec float64
 }
 
 // Plan is a composed failure plan. The zero value injects nothing; build
@@ -91,6 +94,14 @@ type Plan struct {
 	CrashRate     float64 // probability an attempt crashes
 	HangRate      float64 // probability an attempt hangs forever
 	ReadErrorRate float64 // probability one HDFS read fails transiently
+
+	// Spot-market preemption (two-phase notice→reclaim, armed via ArmSpot).
+	// Every SpotEverySec, each live spot node independently receives a
+	// preemption notice with probability SpotRate; the node is reclaimed
+	// SpotNoticeSec after its notice, mirroring real spot markets.
+	SpotRate      float64 // per-check, per-node notice probability
+	SpotNoticeSec float64 // notice→reclaim gap; default 120s
+	SpotEverySec  float64 // market-check period; default 60s
 
 	rules  []TaskRule
 	events []NodeEvent
@@ -130,6 +141,28 @@ func (p *Plan) KillNodeAt(node string, atSec float64) *Plan {
 func (p *Plan) SlowNodeAt(node string, atSec float64, hogs int) *Plan {
 	p.events = append(p.events, NodeEvent{Node: node, AtSec: atSec, Kind: "slow", Hogs: hogs})
 	return p
+}
+
+// WithSpotRate sets the per-check, per-node spot preemption probability.
+func (p *Plan) WithSpotRate(r float64) *Plan { p.SpotRate = r; return p }
+
+// SpotReclaimAt schedules a targeted spot preemption: the node is noticed at
+// atSec and reclaimed noticeSec later (negative noticeSec defers to the
+// plan-wide SpotNoticeSec default).
+func (p *Plan) SpotReclaimAt(node string, atSec, noticeSec float64) *Plan {
+	p.events = append(p.events, NodeEvent{Node: node, AtSec: atSec, Kind: "spot", NoticeSec: noticeSec})
+	return p
+}
+
+// noticeSec resolves an event's notice gap against the plan default.
+func (p *Plan) noticeSec(ev NodeEvent) float64 {
+	if ev.NoticeSec >= 0 {
+		return ev.NoticeSec
+	}
+	if p.SpotNoticeSec > 0 {
+		return p.SpotNoticeSec
+	}
+	return 120
 }
 
 // Events returns the scheduled node events, sorted by time then node.
@@ -252,6 +285,67 @@ func (p *Plan) Arm(eng *sim.Engine, rm *yarn.ResourceManager, fs *hdfs.FS, cl *c
 	}
 }
 
+// NodeReclaimer is the membership authority ArmSpot drives — in practice
+// the autoscale.Manager. NoticeNode starts a graceful drain with the spot
+// deadline; ReclaimNode takes the node away immediately; SpotNodes lists
+// the live, not-yet-noticed spot nodes eligible for preemption (sorted, so
+// seeded decisions are reproducible).
+type NodeReclaimer interface {
+	SpotNodes() []string
+	NoticeNode(id string)
+	ReclaimNode(id string)
+}
+
+// ArmSpot installs the plan's spot-market preemptions onto the engine.
+// Targeted "spot" events notice their node at AtSec and reclaim it a notice
+// gap later. With SpotRate > 0, a market check additionally runs every
+// SpotEverySec (default 60s) up to horizonSec: each eligible spot node
+// independently draws a seeded chance("spot", node) and, when preempted, is
+// noticed immediately and reclaimed after the notice gap. The check loop
+// self-terminates at horizonSec so the engine can quiesce.
+func (p *Plan) ArmSpot(eng *sim.Engine, r NodeReclaimer, horizonSec float64) {
+	if r == nil {
+		return
+	}
+	for _, ev := range p.Events() {
+		if ev.Kind != "spot" {
+			continue
+		}
+		ev := ev
+		notice := p.noticeSec(ev)
+		eng.At(ev.AtSec, func() { r.NoticeNode(ev.Node) })
+		eng.At(ev.AtSec+notice, func() { r.ReclaimNode(ev.Node) })
+	}
+	if p.SpotRate <= 0 {
+		return
+	}
+	period := p.SpotEverySec
+	if period <= 0 {
+		period = 60
+	}
+	notice := p.SpotNoticeSec
+	if notice <= 0 {
+		notice = 120
+	}
+	var check func()
+	check = func() {
+		for _, id := range r.SpotNodes() {
+			if !p.chance("spot", id, p.SpotRate) {
+				continue
+			}
+			id := id
+			r.NoticeNode(id)
+			eng.Schedule(notice, func() { r.ReclaimNode(id) })
+		}
+		if eng.Now()+period <= horizonSec {
+			eng.Schedule(period, check)
+		}
+	}
+	if period <= horizonSec {
+		eng.Schedule(period, check)
+	}
+}
+
 // String renders the plan in the Parse DSL (rates with %g, rules and node
 // events in order).
 func (p *Plan) String() string {
@@ -264,6 +358,15 @@ func (p *Plan) String() string {
 	}
 	if p.ReadErrorRate > 0 {
 		parts = append(parts, fmt.Sprintf("readerr=%g", p.ReadErrorRate))
+	}
+	if p.SpotRate > 0 {
+		parts = append(parts, fmt.Sprintf("spotrate=%g", p.SpotRate))
+	}
+	if p.SpotNoticeSec > 0 {
+		parts = append(parts, fmt.Sprintf("spotnotice=%g", p.SpotNoticeSec))
+	}
+	if p.SpotEverySec > 0 {
+		parts = append(parts, fmt.Sprintf("spotevery=%g", p.SpotEverySec))
 	}
 	for _, r := range p.rules {
 		sig := r.Signature
@@ -281,8 +384,11 @@ func (p *Plan) String() string {
 	}
 	for _, ev := range p.events {
 		s := fmt.Sprintf("%s=%s@%g", ev.Kind, ev.Node, ev.AtSec)
-		if ev.Kind == "slow" {
+		switch {
+		case ev.Kind == "slow":
 			s += fmt.Sprintf(":%d", ev.Hogs)
+		case ev.Kind == "spot" && ev.NoticeSec >= 0:
+			s += fmt.Sprintf(":%g", ev.NoticeSec)
 		}
 		parts = append(parts, s)
 	}
@@ -301,8 +407,14 @@ func (p *Plan) String() string {
 //	hang=SIG[@N][:C]   hang attempts likewise
 //	kill=NODE@T        kill NODE at virtual time T seconds
 //	slow=NODE@T[:H]    add H (default 1) background CPU hogs to NODE at T
+//	spot=NODE@T[:N]    spot-preempt NODE: notice at T, reclaim N (default
+//	                   spotnotice) seconds later
+//	spotrate=P         each spot node is noticed with probability P per
+//	                   market check (armed via ArmSpot)
+//	spotnotice=SEC     notice→reclaim gap for spot preemptions (default 120)
+//	spotevery=SEC      spot-market check period (default 60)
 //
-// Example: "hang=align@0:1;crashrate=0.05;kill=node-03@120".
+// Example: "hang=align@0:1;crashrate=0.05;kill=node-03@120;spotrate=0.1".
 func Parse(spec string, seed int64) (*Plan, error) {
 	p := NewPlan(seed)
 	for _, dir := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
@@ -315,7 +427,7 @@ func Parse(spec string, seed int64) (*Plan, error) {
 			return nil, fmt.Errorf("chaos: directive %q is not key=value", dir)
 		}
 		switch key {
-		case "crashrate", "hangrate", "readerr":
+		case "crashrate", "hangrate", "readerr", "spotrate":
 			rate, err := strconv.ParseFloat(val, 64)
 			if err != nil || rate < 0 || rate > 1 {
 				return nil, fmt.Errorf("chaos: bad rate in %q (want 0..1)", dir)
@@ -327,6 +439,18 @@ func Parse(spec string, seed int64) (*Plan, error) {
 				p.HangRate = rate
 			case "readerr":
 				p.ReadErrorRate = rate
+			case "spotrate":
+				p.SpotRate = rate
+			}
+		case "spotnotice", "spotevery":
+			sec, err := strconv.ParseFloat(val, 64)
+			if err != nil || sec <= 0 {
+				return nil, fmt.Errorf("chaos: bad duration in %q (want > 0)", dir)
+			}
+			if key == "spotnotice" {
+				p.SpotNoticeSec = sec
+			} else {
+				p.SpotEverySec = sec
 			}
 		case "crash", "hang":
 			fate := FateCrash
@@ -338,7 +462,7 @@ func Parse(spec string, seed int64) (*Plan, error) {
 				return nil, fmt.Errorf("chaos: %q: %w", dir, err)
 			}
 			p.AddRule(rule)
-		case "kill", "slow":
+		case "kill", "slow", "spot":
 			ev, err := parseNodeEvent(key, val)
 			if err != nil {
 				return nil, fmt.Errorf("chaos: %q: %w", dir, err)
@@ -377,18 +501,27 @@ func parseTaskRule(val string, fate Fate) (TaskRule, error) {
 	return rule, nil
 }
 
-// parseNodeEvent parses "NODE@T[:H]".
+// parseNodeEvent parses "NODE@T[:H]" (slow hog count) or "NODE@T[:N]"
+// (spot notice seconds).
 func parseNodeEvent(kind, val string) (NodeEvent, error) {
-	ev := NodeEvent{Kind: kind, Hogs: 1}
-	if body, hogs, ok := strings.Cut(val, ":"); ok {
-		if kind != "slow" {
-			return ev, fmt.Errorf("only slow takes a hog count")
+	ev := NodeEvent{Kind: kind, Hogs: 1, NoticeSec: -1}
+	if body, suffix, ok := strings.Cut(val, ":"); ok {
+		switch kind {
+		case "slow":
+			n, err := strconv.Atoi(suffix)
+			if err != nil || n <= 0 {
+				return ev, fmt.Errorf("bad hog count %q", suffix)
+			}
+			ev.Hogs = n
+		case "spot":
+			sec, err := strconv.ParseFloat(suffix, 64)
+			if err != nil || sec < 0 {
+				return ev, fmt.Errorf("bad notice %q", suffix)
+			}
+			ev.NoticeSec = sec
+		default:
+			return ev, fmt.Errorf("only slow and spot take a suffix")
 		}
-		n, err := strconv.Atoi(hogs)
-		if err != nil || n <= 0 {
-			return ev, fmt.Errorf("bad hog count %q", hogs)
-		}
-		ev.Hogs = n
 		val = body
 	}
 	node, at, ok := strings.Cut(val, "@")

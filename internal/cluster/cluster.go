@@ -106,6 +106,7 @@ type Cluster struct {
 	cfg   Config
 	nodes []*Node
 	byID  map[string]*Node
+	next  int // next auto-assigned node index for AddNode("")
 }
 
 // New builds a cluster with the given node specs. Node IDs are
@@ -147,7 +148,69 @@ func New(eng *sim.Engine, cfg Config, specs []NodeSpec) (*Cluster, error) {
 		c.nodes = append(c.nodes, n)
 		c.byID[id] = n
 	}
+	c.next = len(specs)
 	return c, nil
+}
+
+// AddNode joins a new node to the cluster mid-run. An empty id auto-assigns
+// the next unused "node-NN" name; a non-empty id lets a previously removed
+// node rejoin under its old identity. The node starts with fresh (idle)
+// CPU/disk/NIC resources — a rejoining node is a new machine, not a resumed
+// one. Returns an error if the id is already a member or the spec is invalid.
+func (c *Cluster) AddNode(id string, spec NodeSpec) (*Node, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if id == "" {
+		for {
+			id = fmt.Sprintf("node-%02d", c.next)
+			c.next++
+			if c.byID[id] == nil {
+				break
+			}
+		}
+	} else if c.byID[id] != nil {
+		return nil, fmt.Errorf("cluster: node %s already a member", id)
+	}
+	n := &Node{
+		ID:   id,
+		Spec: spec,
+		CPU:  sim.NewSharedResource(c.Engine, id+"/cpu", float64(spec.VCores)*spec.CPUFactor),
+		Disk: sim.NewSharedResource(c.Engine, id+"/disk", spec.DiskMBps),
+		NIC:  sim.NewSharedResource(c.Engine, id+"/nic", spec.NetMBps),
+	}
+	for h := 0; h < spec.CPUHogs; h++ {
+		n.CPU.SubmitBackground(1 * spec.CPUFactor)
+	}
+	for h := 0; h < spec.IOHogs; h++ {
+		n.Disk.SubmitBackground(spec.DiskMBps)
+	}
+	// Keep c.nodes sorted by ID so Nodes/NodeIDs iteration order is a pure
+	// function of membership, independent of join order.
+	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].ID >= id })
+	c.nodes = append(c.nodes, nil)
+	copy(c.nodes[i+1:], c.nodes[i:])
+	c.nodes[i] = n
+	c.byID[id] = n
+	return n, nil
+}
+
+// RemoveNode drops a node from the cluster. The caller is responsible for
+// draining or killing its workload first (yarn) and for marking its replicas
+// dead (hdfs); removal here only deletes the membership entry so future
+// NodeIDs/Node lookups no longer see it. Returns an error for unknown ids.
+func (c *Cluster) RemoveNode(id string) error {
+	if c.byID[id] == nil {
+		return fmt.Errorf("cluster: node %s not a member", id)
+	}
+	delete(c.byID, id)
+	for i, n := range c.nodes {
+		if n.ID == id {
+			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 // RecordMetrics snapshots the cluster's kernel-level counters into the

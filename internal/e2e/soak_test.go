@@ -77,3 +77,71 @@ func TestLoadSoakByteDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestElasticSoakByteDeterminism repeats the soak discipline for the elastic
+// tier: the same `hiway elastic` run — reactive autoscaling with nodes
+// joining, draining, and being reclaimed by seeded spot chaos — executed
+// twice in separate processes must print byte-identical stdout and metrics
+// snapshots. Membership churn, evacuation copies, and preemption retries all
+// ride the deterministic event queue, so any divergence is a real bug.
+func TestElasticSoakByteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hiway")
+	build := exec.Command("go", "build", "-o", bin, "hiway/cmd/hiway")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	run := func(runDir string, extra ...string) (stdout, metrics []byte) {
+		t.Helper()
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		args := append([]string{"elastic",
+			"-seed", "7", "-duration", "900", "-autoscale", "reactive",
+			"-spot-rate", "0.3", "-metrics", "metrics.prom"},
+			extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = runDir
+		var out, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("elastic run: %v\nstderr: %s", err, stderr.String())
+		}
+		m, err := os.ReadFile(filepath.Join(runDir, "metrics.prom"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), m
+	}
+
+	cases := []struct {
+		name  string
+		extra []string
+	}{
+		{"reactive-spot", nil},
+		{"predictive-spot", []string{"-autoscale", "predictive"}},
+	}
+	for _, tc := range cases {
+		out1, m1 := run(filepath.Join(dir, tc.name+"-1"), tc.extra...)
+		out2, m2 := run(filepath.Join(dir, tc.name+"-2"), tc.extra...)
+		if !bytes.Equal(out1, out2) {
+			t.Errorf("%s: stdout differs between identical elastic runs:\n--- run 1\n%s--- run 2\n%s", tc.name, out1, out2)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Errorf("%s: metrics snapshots differ between identical elastic runs", tc.name)
+		}
+		if !bytes.Contains(out1, []byte("spot-notices")) {
+			t.Errorf("%s: stdout lacks the churn ledger:\n%s", tc.name, out1)
+		}
+		if !bytes.Contains(m1, []byte("hiway_autoscale_scale_ups_total")) {
+			t.Errorf("%s: metrics snapshot lacks hiway_autoscale_* series", tc.name)
+		}
+		if !bytes.Contains(m1, []byte("hiway_yarn_preempted_total")) {
+			t.Errorf("%s: metrics snapshot lacks the preemption counter", tc.name)
+		}
+	}
+}

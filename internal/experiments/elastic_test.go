@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestElasticLoadDeterministic runs the same elastic configuration — reactive
+// autoscaling under spot-preemption chaos, the most event-rich cell of the
+// ladder — twice and requires identical points and rendered tables: the
+// elastic machinery must not leak wall-clock or map-order nondeterminism
+// into the measurements.
+func TestElasticLoadDeterministic(t *testing.T) {
+	cfg := ElasticLoadConfig{
+		Seed:        3,
+		DurationSec: 600,
+		Autoscale:   "reactive",
+		SpotRate:    0.3,
+	}
+	r1, err := ElasticLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ElasticLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := r1.Point, r2.Point
+	p1.WallSec, p2.WallSec = 0, 0
+	if p1 != p2 {
+		t.Fatalf("same-seed elastic runs diverged:\n%+v\n%+v", p1, p2)
+	}
+	res1 := &ElasticResult{Points: []ElasticPoint{r1.Point}}
+	res2 := &ElasticResult{Points: []ElasticPoint{r2.Point}}
+	if !bytes.Equal([]byte(res1.Render()), []byte(res2.Render())) {
+		t.Fatalf("renders differ:\n%s\n%s", res1.Render(), res2.Render())
+	}
+}
+
+// TestElasticLoadPolicies smoke-runs every ladder policy on a short window
+// and checks the shape of each point: work completes, cost is accounted,
+// and each policy exhibits its signature behavior (static never scales,
+// elastic policies scale up from the floor, spot chaos preempts containers
+// on spot-scaled fleets).
+func TestElasticLoadPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		policy   string
+		spotRate float64
+	}{
+		{"static", 0}, {"reactive", 0}, {"predictive", 0}, {"reactive", 0.3},
+	} {
+		cfg := ElasticLoadConfig{
+			Seed:        1,
+			DurationSec: 600,
+			Autoscale:   tc.policy,
+			SpotRate:    tc.spotRate,
+		}
+		run, err := ElasticLoad(cfg)
+		if err != nil {
+			t.Fatalf("%s spot %.2g: %v", tc.policy, tc.spotRate, err)
+		}
+		p := run.Point
+		if p.Succeeded == 0 {
+			t.Errorf("%s spot %.2g: no workflow succeeded: %+v", tc.policy, tc.spotRate, p)
+		}
+		if p.Succeeded+p.Failed != p.Admitted {
+			t.Errorf("%s spot %.2g: admitted %d != succeeded %d + failed %d",
+				tc.policy, tc.spotRate, p.Admitted, p.Succeeded, p.Failed)
+		}
+		if p.OnDemandNodeSec <= 0 {
+			t.Errorf("%s spot %.2g: no on-demand node-seconds billed: %+v", tc.policy, tc.spotRate, p)
+		}
+		if tc.policy == "static" {
+			if p.ScaleUps != 0 || p.ScaleDowns != 0 || p.Joins != 0 {
+				t.Errorf("static policy churned the fleet: %+v", p)
+			}
+			if p.FinalNodes != cfg.StaticNodes && p.FinalNodes != 10 {
+				t.Errorf("static fleet changed size: %+v", p)
+			}
+		} else if p.ScaleUps == 0 {
+			t.Errorf("%s never scaled up under sustained load: %+v", tc.policy, p)
+		}
+		if tc.spotRate > 0 && p.Notices == 0 {
+			t.Errorf("%s spot %.2g: chaos armed but no spot notices: %+v", tc.policy, tc.spotRate, p)
+		}
+	}
+}
+
+// TestElasticSweepConfigs pins the ladder grid: three policies crossed with
+// {no chaos, 30% spot chaos}, so the published BENCH_elastic.json always
+// carries the six points the goodput-vs-cost comparison needs.
+func TestElasticSweepConfigs(t *testing.T) {
+	cfgs := ElasticSweepConfigs(false)
+	if len(cfgs) != 6 {
+		t.Fatalf("expected 6 ladder cells, got %d", len(cfgs))
+	}
+	seen := map[string]int{}
+	for _, c := range cfgs {
+		seen[c.Autoscale]++
+		if c.SpotRate != 0 && c.SpotRate != 0.3 {
+			t.Errorf("unexpected spot rate %g", c.SpotRate)
+		}
+	}
+	for _, pol := range []string{"static", "reactive", "predictive"} {
+		if seen[pol] != 2 {
+			t.Errorf("policy %s appears %d times, want 2", pol, seen[pol])
+		}
+	}
+	full := ElasticSweepConfigs(true)
+	if full[0].DurationSec <= cfgs[0].DurationSec {
+		t.Error("full ladder should run a longer arrival window")
+	}
+}

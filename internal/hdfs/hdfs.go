@@ -252,6 +252,40 @@ func (fs *FS) ReviveNode(nodeID string) {
 	fs.epoch++
 }
 
+// DecommissionNode marks a node as decommissioning, mirroring HDFS graceful
+// decommission: it receives no new replicas and its existing replicas no
+// longer count toward the replication factor — so Rereplicate evacuates its
+// blocks — but it keeps serving reads until it actually departs. Call
+// Rereplicate after this to start the evacuation copies.
+func (fs *FS) DecommissionNode(nodeID string) {
+	fs.excluded[nodeID] = true
+	fs.epoch++
+}
+
+// ForgetNode erases a departed node from the namespace: every replica it
+// held is dropped from block metadata and its dead-marker is cleared. Use it
+// when a node leaves for good (spot reclaim, decommission complete) — unlike
+// ReviveNode, a node re-added after ForgetNode is a blank machine, so a
+// same-ID rejoin does not resurrect data that physically went away with the
+// old instance.
+func (fs *FS) ForgetNode(nodeID string) {
+	for _, f := range fs.files {
+		for i := range f.Blocks {
+			reps := f.Blocks[i].Replicas
+			kept := reps[:0]
+			for _, r := range reps {
+				if r != nodeID {
+					kept = append(kept, r)
+				}
+			}
+			f.Blocks[i].Replicas = kept
+		}
+	}
+	delete(fs.dead, nodeID)
+	delete(fs.excluded, nodeID)
+	fs.epoch++
+}
+
 // Readable reports whether every block of the file has at least one live
 // replica (external files are always readable).
 func (fs *FS) Readable(path string) bool {
@@ -396,10 +430,15 @@ func (fs *FS) Rereplicate(done func(copies int)) {
 			if src == "" {
 				continue // block lost
 			}
-			holders := map[string]bool{}
+			// Decommissioning (excluded) holders still serve reads but no
+			// longer count toward the factor, so their blocks evacuate.
+			holders, counted := map[string]bool{}, 0
 			for _, r := range b.Replicas {
 				if !fs.dead[r] {
 					holders[r] = true
+					if !fs.excluded[r] {
+						counted++
+					}
 				}
 			}
 			// Candidates: live datanodes not yet holding the block.
@@ -410,10 +449,11 @@ func (fs *FS) Rereplicate(done func(copies int)) {
 				}
 			}
 			fs.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-			for len(holders) < target && len(cands) > 0 {
+			for counted < target && len(cands) > 0 {
 				dst := cands[0]
 				cands = cands[1:]
 				holders[dst] = true
+				counted++
 				jobs = append(jobs, job{b: b, src: src, dst: dst, sizeMB: b.SizeMB})
 			}
 		}
@@ -426,8 +466,13 @@ func (fs *FS) Rereplicate(done func(copies int)) {
 	for _, j := range jobs {
 		j := j
 		fs.cluster.Transfer(fs.cluster.Node(j.src), fs.cluster.Node(j.dst), j.sizeMB, func() {
-			j.b.Replicas = append(j.b.Replicas, j.dst)
-			fs.epoch++
+			// The destination may have departed (spot reclaim, decommission)
+			// while the copy was in flight; registering it as a replica
+			// holder would resurrect a machine that no longer exists.
+			if fs.cluster.Node(j.dst) != nil && !fs.dead[j.dst] {
+				j.b.Replicas = append(j.b.Replicas, j.dst)
+				fs.epoch++
+			}
 			pending--
 			if pending == 0 {
 				done(len(jobs))

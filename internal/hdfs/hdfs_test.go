@@ -412,6 +412,94 @@ func TestRereplicateRestoresFactor(t *testing.T) {
 	}
 }
 
+// TestDecommissionEvacuatesBlocks pins graceful-decommission semantics: a
+// decommissioning node keeps serving reads, receives no new replicas, no
+// longer counts toward the replication factor, and Rereplicate copies its
+// blocks to staying nodes — so concurrent drains cannot strand a block with
+// all of its holders departing.
+func TestDecommissionEvacuatesBlocks(t *testing.T) {
+	eng, c := newTestCluster(t, 4)
+	fs := New(c, Config{BlockSizeMB: 64, Replication: 2}, 9)
+	f, _ := fs.Put("/a", 64, "node-00")
+	holder := f.Blocks[0].Replicas[1]
+	fs.DecommissionNode(holder)
+
+	// Still readable: the decommissioning replica serves until departure.
+	if !fs.Readable("/a") {
+		t.Fatal("file unreadable during decommission")
+	}
+	// No longer a placement target.
+	g, _ := fs.Put("/b", 64, "")
+	for _, r := range g.Blocks[0].Replicas {
+		if r == holder {
+			t.Fatalf("decommissioning node %s received a new replica", holder)
+		}
+	}
+	// Evacuation: the factor is restored on staying nodes only.
+	var copies int
+	fs.Rereplicate(func(n int) { copies = n })
+	eng.Run()
+	if copies == 0 {
+		t.Fatal("no evacuation copies made")
+	}
+	staying := 0
+	f, _ = fs.Stat("/a")
+	for _, r := range f.Blocks[0].Replicas {
+		if r != holder && !fs.dead[r] {
+			staying++
+		}
+	}
+	if staying < 2 {
+		t.Fatalf("block has %d staying replicas after evacuation, want 2 (replicas %v)",
+			staying, f.Blocks[0].Replicas)
+	}
+	// ForgetNode clears the decommission mark so a same-ID rejoin is a
+	// blank, placeable machine again.
+	fs.KillNode(holder)
+	fs.ForgetNode(holder)
+	if fs.excluded[holder] {
+		t.Fatal("ForgetNode left the decommission mark in place")
+	}
+}
+
+// TestRereplicateDestinationDepartsMidFlight pins the elastic-membership
+// hazard: a rereplication copy is in flight toward a node that is reclaimed
+// (removed from the cluster and forgotten by the namespace) before the copy
+// completes. The completed transfer must NOT register the departed node as a
+// replica holder — otherwise a later Rereplicate would pick the phantom
+// machine as a copy source and dereference a node that no longer exists.
+func TestRereplicateDestinationDepartsMidFlight(t *testing.T) {
+	eng, c := newTestCluster(t, 3)
+	fs := New(c, Config{BlockSizeMB: 64, Replication: 2}, 9)
+	f, _ := fs.Put("/a", 64, "node-00")
+	// Kill the second replica holder; the sole rereplication candidate is
+	// the remaining third node.
+	var dst string
+	fs.KillNode(f.Blocks[0].Replicas[1])
+	for _, id := range c.NodeIDs() {
+		if id != f.Blocks[0].Replicas[0] && id != f.Blocks[0].Replicas[1] {
+			dst = id
+		}
+	}
+	fs.Rereplicate(func(int) {})
+	// Reclaim the destination while the copy is still on the wire.
+	c.RemoveNode(dst)
+	fs.KillNode(dst)
+	fs.ForgetNode(dst)
+	eng.Run()
+	for _, b := range f.Blocks {
+		for _, r := range b.Replicas {
+			if c.Node(r) == nil {
+				t.Fatalf("replica registered on departed node %s: %v", r, b.Replicas)
+			}
+		}
+	}
+	// A further pass must not panic on a phantom source (and has nowhere
+	// left to copy to).
+	fs.Rereplicate(func(int) {})
+	eng.Run()
+}
+
 func TestRereplicateSkipsLostBlocks(t *testing.T) {
 	eng, c := newTestCluster(t, 3)
 	fs := New(c, Config{BlockSizeMB: 1000, Replication: 1}, 9)

@@ -101,6 +101,16 @@ func (h *NodeHealthTracker) ReportFailure(node string) {
 	}
 }
 
+// Forget drops all tracked state for a node that left the cluster. Unlike
+// ReportSuccess (same effect, different intent) this is membership cleanup:
+// without it a long elastic run leaks one entry per departed node, and a
+// node rejoining under the same ID would inherit the old machine's penalty.
+func (h *NodeHealthTracker) Forget(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.nodes, node)
+}
+
 // Blacklisted returns the currently blacklisted nodes, sorted.
 func (h *NodeHealthTracker) Blacklisted() []string {
 	h.mu.Lock()

@@ -17,6 +17,11 @@ type TenantStats struct {
 	QueueWaitP50Sec float64
 	QueueWaitP99Sec float64
 	E2EP99Sec       float64
+
+	// Cost attribution: the tenant's container usage in core-seconds,
+	// split by the class of node the containers ran on.
+	OnDemandCoreSec float64
+	SpotCoreSec     float64
 }
 
 // Stats summarizes a drained service run: the per-workflow accounts rolled
@@ -46,8 +51,20 @@ type Stats struct {
 	E2EP50Sec       float64
 	E2EP99Sec       float64
 
+	// Cost accounting from the RM: node-seconds bill alive node lifetime by
+	// class, CostUnits prices them (on-demand 1.0, spot autoscale.SpotPrice
+	// equivalent 0.3), and the per-tenant core-seconds in Tenants attribute
+	// the busy share.
+	OnDemandNodeSec float64
+	SpotNodeSec     float64
+	CostUnits       float64
+
 	Tenants map[string]*TenantStats
 }
+
+// spotPrice mirrors autoscale.SpotPrice without importing the package: the
+// relative price of a spot node-second.
+const spotPrice = 0.3
 
 // Stats rolls up the accounts. Call after the engine has drained.
 func (s *Service) Stats() *Stats {
@@ -109,6 +126,16 @@ func (s *Service) Stats() *Stats {
 		ts.QueueWaitP50Sec = quantile(perWait[name], 0.50)
 		ts.QueueWaitP99Sec = quantile(perWait[name], 0.99)
 		ts.E2EP99Sec = quantile(perE2E[name], 0.99)
+	}
+	cost := s.env.RM.CostReport()
+	st.OnDemandNodeSec = cost.OnDemandNodeSec
+	st.SpotNodeSec = cost.SpotNodeSec
+	st.CostUnits = cost.CostUnits(spotPrice)
+	for name, ts := range st.Tenants {
+		if tc, ok := cost.Tenants[name]; ok {
+			ts.OnDemandCoreSec = tc.OnDemandCoreSec
+			ts.SpotCoreSec = tc.SpotCoreSec
+		}
 	}
 	return st
 }

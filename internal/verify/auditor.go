@@ -29,6 +29,14 @@ const (
 	InvDepOrder  = "dependency-order"      // an attempt starts only once its inputs exist
 	InvMonotone  = "monotone-time"         // hook timestamps never go backwards
 	InvQuiesce   = "quiescence"            // after the run: no live containers, full capacity restored
+
+	// InvMembership: no container is ever allocated on a draining or removed
+	// node, and membership transitions themselves are well-formed (no double
+	// removal, no join of a still-live node).
+	InvMembership = "membership-safety"
+	// InvCost: per-tenant core-second accounting sums to the cluster's
+	// busy-core integral, separately per node class (on-demand vs. spot).
+	InvCost = "cost-conservation"
 )
 
 // maxViolations bounds how many violations one run records; a broken
@@ -51,9 +59,11 @@ type Auditor struct {
 	rm *yarn.ResourceManager
 	fs *hdfs.FS
 
-	total map[string]usage // node → declared capacity
-	used  map[string]usage // node → capacity handed to live containers
-	dead  map[string]bool
+	total    map[string]usage // node → declared capacity
+	used     map[string]usage // node → capacity handed to live containers
+	dead     map[string]bool
+	draining map[string]bool
+	removed  map[string]bool
 
 	live     map[int64]*yarn.Container // allocated, unreleased containers
 	released map[int64]bool            // ever-released container IDs
@@ -68,10 +78,12 @@ type Auditor struct {
 	violations []Violation
 }
 
-// The auditor must satisfy both hook interfaces.
+// The auditor must satisfy both hook interfaces, plus the membership
+// extension so elastic scenarios are audited through node churn.
 var (
-	_ yarn.AuditHook = (*Auditor)(nil)
-	_ core.AuditSink = (*Auditor)(nil)
+	_ yarn.AuditHook           = (*Auditor)(nil)
+	_ yarn.MembershipAuditHook = (*Auditor)(nil)
+	_ core.AuditSink           = (*Auditor)(nil)
 )
 
 // NewAuditor builds an auditor over the environment's cluster, RM, and HDFS.
@@ -83,6 +95,8 @@ func NewAuditor(env core.Env) *Auditor {
 		total:     make(map[string]usage),
 		used:      make(map[string]usage),
 		dead:      make(map[string]bool),
+		draining:  make(map[string]bool),
+		removed:   make(map[string]bool),
 		live:      make(map[int64]*yarn.Container),
 		released:  make(map[int64]bool),
 		submitted: make(map[int64]string),
@@ -136,7 +150,7 @@ func (a *Auditor) mono(now float64) {
 // checkNode cross-checks the RM's reported free capacity on one live node
 // against the auditor's independently tracked in-use total.
 func (a *Auditor) checkNode(now float64, node string) {
-	if a.dead[node] {
+	if a.dead[node] || a.removed[node] {
 		return
 	}
 	tot, ok := a.total[node]
@@ -168,6 +182,12 @@ func (a *Auditor) OnContainerAllocated(now float64, c *yarn.Container) {
 	}
 	if a.dead[c.NodeID] {
 		a.report(now, InvContainer, "container %d allocated on dead node %s", c.ID, c.NodeID)
+	}
+	if a.draining[c.NodeID] {
+		a.report(now, InvMembership, "container %d allocated on draining node %s", c.ID, c.NodeID)
+	}
+	if a.removed[c.NodeID] {
+		a.report(now, InvMembership, "container %d allocated on removed node %s", c.ID, c.NodeID)
 	}
 	a.live[c.ID] = c
 	u := a.used[c.NodeID]
@@ -229,6 +249,44 @@ func (a *Auditor) OnNodeDead(now float64, node string) {
 		a.report(now, InvContainer, "node %s died twice", node)
 	}
 	a.dead[node] = true
+}
+
+// OnNodeJoined implements yarn.MembershipAuditHook: the node's capacity
+// enters the audited total, and a fresh incarnation starts with a clean
+// slate — rejoining under a previously used ID is legitimate only after the
+// old incarnation died or was removed.
+func (a *Auditor) OnNodeJoined(now float64, node string, vcores, memMB int) {
+	a.mono(now)
+	if _, ok := a.total[node]; ok && !a.dead[node] && !a.removed[node] {
+		a.report(now, InvMembership, "node %s joined while still registered live", node)
+	}
+	a.total[node] = usage{cores: vcores, mem: memMB}
+	a.used[node] = usage{}
+	delete(a.dead, node)
+	delete(a.removed, node)
+	delete(a.draining, node)
+}
+
+// OnNodeDraining implements yarn.MembershipAuditHook: from this instant any
+// allocation on the node is a membership-safety violation.
+func (a *Auditor) OnNodeDraining(now float64, node string) {
+	a.mono(now)
+	if a.dead[node] || a.removed[node] {
+		a.report(now, InvMembership, "dead or removed node %s started draining", node)
+	}
+	a.draining[node] = true
+}
+
+// OnNodeRemoved implements yarn.MembershipAuditHook. Running containers were
+// already reported lost by the time this fires, so the node's remaining
+// accounting must be empty; its capacity leaves the audited total.
+func (a *Auditor) OnNodeRemoved(now float64, node string) {
+	a.mono(now)
+	if a.removed[node] {
+		a.report(now, InvMembership, "node %s removed twice", node)
+	}
+	a.removed[node] = true
+	delete(a.draining, node)
 }
 
 // OnTaskSubmitted implements core.AuditSink.
@@ -313,7 +371,7 @@ func (a *Auditor) FinalCheck(succeeded bool) []Violation {
 		a.report(now, InvQuiesce, "RM reports %d containers still running after quiesce", rc)
 	}
 	for node, tot := range a.total {
-		if a.dead[node] {
+		if a.dead[node] || a.removed[node] {
 			continue
 		}
 		freeC, freeM := a.rm.FreeCapacity(node)
@@ -328,6 +386,9 @@ func (a *Auditor) FinalCheck(succeeded bool) []Violation {
 				a.report(now, InvQuiesce, "task %d (sig %s) submitted but never completed in a successful run", id, sig)
 			}
 		}
+	}
+	for _, v := range costViolations(a.rm.CostReport(), now) {
+		a.report(v.TimeSec, v.Invariant, "%s", v.Detail)
 	}
 	if a.dropped > 0 {
 		a.report(now, InvQuiesce, "%d further violations suppressed", a.dropped)

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 
+	"hiway/internal/autoscale"
 	"hiway/internal/chaos"
+	"hiway/internal/cluster"
 	"hiway/internal/core"
 	"hiway/internal/scheduler"
 	"hiway/internal/sim"
@@ -125,6 +127,7 @@ func (s *Scenario) buildRun(policy string, tamper func(core.Env)) (*runCtx, erro
 		Speculate:           s.Speculate,
 		Audit:               aud,
 	}
+	var health *scheduler.NodeHealthTracker
 	if s.Chaos != "" {
 		plan, err := chaos.Parse(s.Chaos, s.ChaosSeed)
 		if err != nil {
@@ -132,7 +135,19 @@ func (s *Scenario) buildRun(policy string, tamper func(core.Env)) (*runCtx, erro
 		}
 		plan.Arm(eng, env.RM, env.FS, env.Cluster)
 		cfg.Chaos = plan
-		cfg.Health = scheduler.NewNodeHealthTracker(eng.Now, 3, 60)
+		health = scheduler.NewNodeHealthTracker(eng.Now, 3, 60)
+		cfg.Health = health
+	}
+	if s.Elastic != nil {
+		mgr := autoscale.NewManager(eng, env.Cluster, env.RM, env.FS, autoscale.ManagerConfig{
+			Spec:             cluster.M3Large(),
+			DrainDeadlineSec: s.Elastic.DrainDeadlineSec,
+			SpotNoticeSec:    s.Elastic.SpotNoticeSec,
+			Protected:        []string{"node-00"},
+			Rereplicate:      true,
+			Health:           health,
+		})
+		s.Elastic.arm(eng, mgr)
 	}
 	sched, err := scheduler.New(policy, scheduler.Deps{Locality: env.FS, Estimator: env.Prov})
 	if err != nil {
@@ -326,9 +341,10 @@ func CheckScenario(sc *Scenario, opts Options) *Result {
 
 	var baseline *PolicyRun
 	for _, policy := range opts.policies() {
-		if staticPolicies[policy] && (sc.Iterative() || sc.KillsNode()) {
+		if staticPolicies[policy] && (sc.Iterative() || sc.KillsNode() || sc.Elastic.Disruptive()) {
 			// §3.4: static planners cannot run unfolding workflows, and a
-			// static plan cannot reroute around a node the chaos plan kills.
+			// static plan cannot reroute around a node the chaos plan kills
+			// or the elastic plan drains away.
 			continue
 		}
 		run := runPolicy(sc, policy, opts.Tamper)

@@ -76,6 +76,12 @@ type Scenario struct {
 	// service load on the scenario's cluster (under the scenario's chaos
 	// plan) and audits the tenant-quota and admission-order invariants.
 	Service *ServiceSpec `json:"service,omitempty"`
+
+	// Elastic, when present, applies a seeded membership plan (joins,
+	// graceful drains, two-phase spot reclaims) to every policy run and the
+	// resume variant, auditing the membership-safety and cost-conservation
+	// invariants through the churn.
+	Elastic *ElasticSpec `json:"elastic,omitempty"`
 }
 
 // Iterative reports whether the scenario unfolds at run time, which static
@@ -120,6 +126,11 @@ func (s *Scenario) Clone() *Scenario {
 		sv := *s.Service
 		sv.Tenants = append([]ServiceTenantSpec(nil), s.Service.Tenants...)
 		c.Service = &sv
+	}
+	if s.Elastic != nil {
+		es := *s.Elastic
+		es.Events = append([]ElasticEvent(nil), s.Elastic.Events...)
+		c.Elastic = &es
 	}
 	return &c
 }
@@ -254,6 +265,7 @@ func Generate(seed int64) *Scenario {
 
 	sc.genChaos(r)
 	sc.genService(r)
+	sc.genElastic(r)
 	return sc
 }
 

@@ -292,6 +292,7 @@ func runService(sc *Scenario, tamper func(core.Env)) PolicyRun {
 		run.Violations = append(run.Violations, Violation{TimeSec: now, Invariant: InvQuiesce,
 			Detail: fmt.Sprintf("service never drained: %d queued, %d running at quiesce", d, r)})
 	}
+	run.Violations = append(run.Violations, costViolations(env.RM.CostReport(), now)...)
 	st := svc.Stats()
 	if st.Submitted != st.Admitted+st.Dropped {
 		run.Violations = append(run.Violations, Violation{TimeSec: now, Invariant: InvQuiesce,

@@ -14,7 +14,8 @@ type ShrinkReport struct {
 
 // Shrink minimizes a failing scenario while preserving the failure:
 //
-//  1. drop the iteration chain if the base graph alone still fails,
+//  1. drop the iteration chain if the base graph alone still fails, then
+//     the service tier, then the elastic membership plan,
 //  2. binary-search the shortest failing task prefix — tasks are stored in
 //     topological order with producers before consumers, so every prefix is
 //     a dependency-closed workflow,
@@ -53,6 +54,16 @@ func Shrink(sc *Scenario, opts Options) ShrinkReport {
 	if cur.Service != nil {
 		cand := cur.Clone()
 		cand.Service = nil
+		if f := fails(cand); len(f) > 0 {
+			cur, last = cand, f
+		}
+	}
+
+	// 1c. Elastic plan gone? (Membership churn is orthogonal to the task
+	// graph; if the failure survives without it, the reproducer sheds it.)
+	if cur.Elastic != nil {
+		cand := cur.Clone()
+		cand.Elastic = nil
 		if f := fails(cand); len(f) > 0 {
 			cur, last = cand, f
 		}

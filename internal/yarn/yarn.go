@@ -42,6 +42,7 @@ type Container struct {
 	OnLost func()
 
 	released bool
+	allocAt  float64    // allocation time, for per-tenant cost attribution
 	span     obs.SpanID // container span (allocate → release), 0 when obs is off
 }
 
@@ -111,11 +112,24 @@ func (c *Config) setDefaults() {
 }
 
 type nodeManager struct {
-	id        string
-	freeCores int
-	freeMem   int
-	dead      bool
-	running   map[int64]*Container
+	id         string
+	totalCores int
+	totalMem   int
+	freeCores  int
+	freeMem    int
+	dead       bool
+	spot       bool // spot instance: cheaper node-seconds, reclaimable by chaos
+	draining   bool // graceful decommission in progress: no new allocations
+	running    map[int64]*Container
+
+	// cost accounting: piecewise integral of allocated (busy) cores.
+	joinedAt    float64
+	busyMark    float64 // last time busyCoreSec was brought up to date
+	busyCoreSec float64
+
+	// drain bookkeeping
+	drainDone func(node string, graceful bool) // pending completion callback
+	drainGen  int                              // guards stale deadline events
 }
 
 type pendingReq struct {
@@ -146,6 +160,28 @@ type AuditHook interface {
 	OnNodeDead(now float64, node string)
 }
 
+// MembershipAuditHook extends AuditHook for auditors that also want to
+// observe node membership changes (elastic clusters). The RM invokes it via
+// type assertion on the installed AuditHook, so plain AuditHook
+// implementations keep working unchanged.
+type MembershipAuditHook interface {
+	// OnNodeJoined fires when a node joins mid-run, after its capacity is
+	// registered but before any allocation can land on it.
+	OnNodeJoined(now float64, node string, vcores, memMB int)
+	// OnNodeDraining fires when a graceful decommission starts; from this
+	// instant no new container may be allocated on the node.
+	OnNodeDraining(now float64, node string)
+	// OnNodeRemoved fires when a node leaves for good (drain complete or
+	// spot reclaim), after its running containers were reported lost.
+	OnNodeRemoved(now float64, node string)
+}
+
+// MembershipListener observes node lifecycle transitions. Events are
+// "join" (node registered), "drain" (graceful decommission started), and
+// "leave" (node removed). Listeners run synchronously inside the RM, so they
+// must not call back into it.
+type MembershipListener func(now float64, node, event string)
+
 // ResourceManager allocates containers over the simulated cluster.
 type ResourceManager struct {
 	eng *sim.Engine
@@ -160,10 +196,21 @@ type ResourceManager struct {
 	// are exempt) — the quantity quota caps bound.
 	tenantUse map[string]int
 
+	// cost accounting, by node class and tenant. Departed nodes fold their
+	// totals into the finalized sums so the maps stay bounded under churn.
+	tenantCost      map[string]*TenantCost
+	onDemandNodeSec float64 // finalized alive node-seconds, on-demand nodes
+	spotNodeSec     float64 // finalized alive node-seconds, spot nodes
+	onDemandBusySec float64 // finalized busy core-seconds, on-demand nodes
+	spotBusySec     float64 // finalized busy core-seconds, spot nodes
+
+	membership []MembershipListener
+
 	nextApp       int
 	nextContainer int64
 	nextSeq       int64
 	allocPending  bool
+	allocLatEWMA  float64 // exponentially weighted recent allocation latency
 
 	audit AuditHook // optional invariant auditor; nil disables
 
@@ -175,6 +222,7 @@ type ResourceManager struct {
 
 	// statistics
 	Allocated int64 // total containers ever allocated (incl. AMs)
+	preempted int   // running containers preempted by node removal
 
 	// observability (nil handles when disabled — all no-ops)
 	obs         *obs.Obs
@@ -182,6 +230,7 @@ type ResourceManager struct {
 	allocatedC  *obs.Counter
 	lostC       *obs.Counter
 	killedC     *obs.Counter
+	preemptedC  *obs.Counter
 	allocLatH   *obs.Histogram
 	nodeAllocCs map[string]*obs.Counter // per-node allocation counters
 }
@@ -196,6 +245,7 @@ func (rm *ResourceManager) SetObs(o *obs.Obs) {
 	rm.allocatedC = m.Counter("hiway_yarn_containers_allocated_total", "containers allocated (incl. AM containers)")
 	rm.lostC = m.Counter("hiway_yarn_containers_lost_total", "running containers lost to node failures")
 	rm.killedC = m.Counter("hiway_yarn_nodes_killed_total", "nodes failed during the run")
+	rm.preemptedC = m.Counter("hiway_yarn_preempted_total", "running containers preempted by node removal (spot reclaim or drain-deadline expiry)")
 	rm.allocLatH = m.Histogram("hiway_yarn_allocation_latency_seconds",
 		"virtual seconds from container request to allocation",
 		[]float64{0.25, 0.5, 1, 2, 5, 10, 30, 60, 120})
@@ -220,23 +270,288 @@ func (rm *ResourceManager) SetReleaseSkewForTesting(skew int) { rm.releaseSkew =
 func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, cfg Config) *ResourceManager {
 	cfg.setDefaults()
 	rm := &ResourceManager{
-		eng:       eng,
-		cfg:       cfg,
-		nms:       make(map[string]*nodeManager),
-		apps:      make(map[int]*Application),
-		tenantUse: make(map[string]int),
+		eng:        eng,
+		cfg:        cfg,
+		nms:        make(map[string]*nodeManager),
+		apps:       make(map[int]*Application),
+		tenantUse:  make(map[string]int),
+		tenantCost: make(map[string]*TenantCost),
 	}
+	now := eng.Now()
 	for _, n := range c.Nodes() {
 		rm.nms[n.ID] = &nodeManager{
-			id:        n.ID,
-			freeCores: n.Spec.VCores,
-			freeMem:   n.Spec.MemMB,
-			running:   make(map[int64]*Container),
+			id:         n.ID,
+			totalCores: n.Spec.VCores,
+			totalMem:   n.Spec.MemMB,
+			freeCores:  n.Spec.VCores,
+			freeMem:    n.Spec.MemMB,
+			running:    make(map[int64]*Container),
+			joinedAt:   now,
+			busyMark:   now,
 		}
 		rm.order = append(rm.order, n.ID)
 	}
 	sort.Strings(rm.order)
 	return rm
+}
+
+// OnMembership registers a listener for node join/drain/leave events.
+// Listeners fire synchronously, in registration order, after the RM state
+// change they describe.
+func (rm *ResourceManager) OnMembership(fn MembershipListener) {
+	rm.membership = append(rm.membership, fn)
+}
+
+func (rm *ResourceManager) notifyMembership(node, event string) {
+	now := rm.eng.Now()
+	for _, fn := range rm.membership {
+		fn(now, node, event)
+	}
+}
+
+// accrueBusy brings a node's busy-core integral up to now. It must run
+// before every capacity change on the node and before reading cost totals.
+func (rm *ResourceManager) accrueBusy(nm *nodeManager) {
+	now := rm.eng.Now()
+	if !nm.dead {
+		nm.busyCoreSec += float64(nm.totalCores-nm.freeCores) * (now - nm.busyMark)
+	}
+	nm.busyMark = now
+}
+
+// chargeTenant attributes a finished (released or lost) container's core
+// usage to its tenant, split by the hosting node's class. Containers with
+// zero vcores (thin AMs) cost nothing, matching the busy-core integral.
+func (rm *ResourceManager) chargeTenant(c *Container, spot bool) {
+	coreSec := float64(c.Resource.VCores) * (rm.eng.Now() - c.allocAt)
+	if coreSec == 0 {
+		return
+	}
+	tc := rm.tenantCost[c.Tenant]
+	if tc == nil {
+		tc = &TenantCost{}
+		rm.tenantCost[c.Tenant] = tc
+	}
+	if spot {
+		tc.SpotCoreSec += coreSec
+	} else {
+		tc.OnDemandCoreSec += coreSec
+	}
+}
+
+// finalizeNodeCost folds a departing (killed or removed) node's alive time
+// and busy integral into the RM-wide sums. Must run after accrueBusy and at
+// most once per node incarnation.
+func (rm *ResourceManager) finalizeNodeCost(nm *nodeManager) {
+	alive := rm.eng.Now() - nm.joinedAt
+	if nm.spot {
+		rm.spotNodeSec += alive
+		rm.spotBusySec += nm.busyCoreSec
+	} else {
+		rm.onDemandNodeSec += alive
+		rm.onDemandBusySec += nm.busyCoreSec
+	}
+	nm.busyCoreSec = 0
+	nm.joinedAt = rm.eng.Now()
+}
+
+// AddNode registers a node that joined the cluster mid-run. spot marks it as
+// a preemptible spot instance for cost accounting and chaos targeting. A
+// node may rejoin under the ID of a previously killed or removed node — the
+// new incarnation starts with full capacity and fresh cost accounting.
+// Adding over a live registration is an error.
+func (rm *ResourceManager) AddNode(nodeID string, vcores, memMB int, spot bool) error {
+	if vcores <= 0 || memMB <= 0 {
+		return fmt.Errorf("yarn: node %s needs positive capacity, got %d vcores / %d MB", nodeID, vcores, memMB)
+	}
+	if old := rm.nms[nodeID]; old != nil {
+		if !old.dead {
+			return fmt.Errorf("yarn: node %s already registered", nodeID)
+		}
+		// Dead incarnation: its cost was finalized at kill time; replace it.
+		delete(rm.nms, nodeID)
+		rm.dropFromOrder(nodeID)
+	}
+	now := rm.eng.Now()
+	nm := &nodeManager{
+		id:         nodeID,
+		totalCores: vcores,
+		totalMem:   memMB,
+		freeCores:  vcores,
+		freeMem:    memMB,
+		spot:       spot,
+		running:    make(map[int64]*Container),
+		joinedAt:   now,
+		busyMark:   now,
+	}
+	rm.nms[nodeID] = nm
+	i := sort.SearchStrings(rm.order, nodeID)
+	rm.order = append(rm.order, "")
+	copy(rm.order[i+1:], rm.order[i:])
+	rm.order[i] = nodeID
+	if rm.obs != nil && rm.nodeAllocCs != nil {
+		if _, ok := rm.nodeAllocCs[nodeID]; !ok {
+			rm.nodeAllocCs[nodeID] = rm.obs.M().CounterL("hiway_yarn_node_containers_total",
+				"containers allocated per node", "node", nodeID)
+		}
+	}
+	rm.obs.T().Instant("membership", "node-joined", nodeID)
+	if mh, ok := rm.audit.(MembershipAuditHook); ok {
+		mh.OnNodeJoined(now, nodeID, vcores, memMB)
+	}
+	rm.notifyMembership(nodeID, "join")
+	rm.kick()
+	return nil
+}
+
+// DrainNode starts a graceful decommission: the node immediately stops
+// receiving allocations, running containers keep executing, and once the
+// last one releases — or deadlineSec elapses, whichever comes first — onDone
+// fires (asynchronously, once) with graceful reporting whether the node
+// emptied in time. On deadline expiry the remaining containers are preempted
+// exactly like a spot reclaim. The node itself stays registered (draining)
+// until the caller removes it; pending strict requests pinned to it are
+// re-routed just as for a node failure.
+func (rm *ResourceManager) DrainNode(nodeID string, deadlineSec float64, onDone func(node string, graceful bool)) error {
+	nm := rm.nms[nodeID]
+	if nm == nil || nm.dead {
+		return fmt.Errorf("yarn: cannot drain unknown or dead node %s", nodeID)
+	}
+	if nm.draining {
+		return fmt.Errorf("yarn: node %s already draining", nodeID)
+	}
+	nm.draining = true
+	nm.drainDone = onDone
+	nm.drainGen++
+	gen := nm.drainGen
+	now := rm.eng.Now()
+	rm.obs.T().Instant("membership", "node-draining", nodeID)
+	if mh, ok := rm.audit.(MembershipAuditHook); ok {
+		mh.OnNodeDraining(now, nodeID)
+	}
+	rm.notifyMembership(nodeID, "drain")
+	rm.rerouteStrict(nodeID)
+	if len(nm.running) == 0 {
+		rm.completeDrain(nm, true)
+	} else if deadlineSec > 0 {
+		rm.eng.Schedule(deadlineSec, func() {
+			if rm.nms[nodeID] != nm || nm.dead || !nm.draining || nm.drainGen != gen || nm.drainDone == nil {
+				return
+			}
+			rm.preemptRunning(nm)
+			rm.completeDrain(nm, false)
+		})
+	}
+	rm.kick()
+	return nil
+}
+
+// completeDrain fires the drain callback once, asynchronously.
+func (rm *ResourceManager) completeDrain(nm *nodeManager, graceful bool) {
+	done := nm.drainDone
+	if done == nil {
+		return
+	}
+	nm.drainDone = nil
+	id := nm.id
+	rm.eng.Schedule(0, func() { done(id, graceful) })
+}
+
+// preemptRunning destroys a node's running containers the way a spot
+// reclaim does: capacity is not credited back (the node is leaving), tenants
+// are charged for usage up to now, quota slots free, OnLost fires, and the
+// preemption counter advances.
+func (rm *ResourceManager) preemptRunning(nm *nodeManager) {
+	rm.accrueBusy(nm)
+	lost := make([]*Container, 0, len(nm.running))
+	for _, c := range nm.running {
+		lost = append(lost, c)
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
+	nm.running = make(map[int64]*Container)
+	nm.freeCores = nm.totalCores
+	nm.freeMem = nm.totalMem
+	for _, c := range lost {
+		c.released = true
+		rm.chargeTenant(c, nm.spot)
+		rm.creditTenant(c)
+		rm.preempted++
+		rm.preemptedC.Inc()
+		if rm.audit != nil {
+			rm.audit.OnContainerLost(rm.eng.Now(), c)
+		}
+		if tr := rm.obs.T(); tr.Enabled() {
+			tr.Arg(c.span, "preempted", "true")
+			tr.End(c.span)
+		}
+		if c.OnLost != nil {
+			cb := c.OnLost
+			rm.eng.Schedule(0, cb)
+		}
+	}
+}
+
+// RemoveNode deregisters a node. Running containers (if any) are preempted
+// — the two-phase spot flow is notice (DrainNode) followed by RemoveNode at
+// the reclaim instant, and an un-noticed hard reclaim is simply RemoveNode
+// alone. Removing a dead node just deletes its bookkeeping (its containers
+// were already lost at kill time). All per-node index state is deleted so
+// long elastic runs stay bounded.
+func (rm *ResourceManager) RemoveNode(nodeID string) error {
+	nm := rm.nms[nodeID]
+	if nm == nil {
+		return fmt.Errorf("yarn: cannot remove unknown node %s", nodeID)
+	}
+	if !nm.dead {
+
+		rm.preemptRunning(nm)
+		rm.accrueBusy(nm)
+		rm.finalizeNodeCost(nm)
+		nm.drainDone = nil // a pending drain callback is superseded by removal
+	}
+	delete(rm.nms, nodeID)
+	rm.dropFromOrder(nodeID)
+	delete(rm.nodeAllocCs, nodeID)
+	rm.rerouteStrict(nodeID)
+	now := rm.eng.Now()
+	rm.obs.T().Instant("membership", "node-removed", nodeID)
+	if mh, ok := rm.audit.(MembershipAuditHook); ok {
+		mh.OnNodeRemoved(now, nodeID)
+	}
+	rm.notifyMembership(nodeID, "leave")
+	rm.kick()
+	return nil
+}
+
+func (rm *ResourceManager) dropFromOrder(nodeID string) {
+	for i, id := range rm.order {
+		if id == nodeID {
+			rm.order = append(rm.order[:i], rm.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// rerouteStrict re-routes pending strict requests pinned to a node that can
+// no longer host them — withdrawn through OnUnplaceable when set, relaxed to
+// run anywhere otherwise.
+func (rm *ResourceManager) rerouteStrict(nodeID string) {
+	kept := rm.pending[:0]
+	for _, p := range rm.pending {
+		if !p.req.Strict || p.req.NodeHint != nodeID {
+			kept = append(kept, p)
+			continue
+		}
+		if cb := p.req.OnUnplaceable; cb != nil {
+			req := p.req
+			rm.eng.Schedule(0, func() { cb(req) })
+			continue // withdrawn; the owner re-requests
+		}
+		p.req.Strict = false
+		p.req.NodeHint = ""
+		kept = append(kept, p)
+	}
+	rm.pending = kept
 }
 
 // Application is one submitted app (one Hi-WAY AM per workflow).
@@ -269,7 +584,7 @@ func (rm *ResourceManager) SubmitApplicationFor(tenant, name, amNode string) (*A
 	var nm *nodeManager
 	if amNode != "" {
 		cand := rm.nms[amNode]
-		if cand == nil || cand.dead {
+		if cand == nil || cand.dead || cand.draining {
 			return nil, fmt.Errorf("yarn: AM node %q unavailable", amNode)
 		}
 		if !rm.cfg.AMResource.Fits(cand.freeCores, cand.freeMem) {
@@ -336,6 +651,8 @@ func (a *Application) Release(c *Container) {
 	if nm != nil {
 		delete(nm.running, c.ID)
 		if !nm.dead {
+			a.rm.accrueBusy(nm)
+			a.rm.chargeTenant(c, nm.spot)
 			nm.freeCores += c.Resource.VCores + a.rm.releaseSkew
 			nm.freeMem += c.Resource.MemMB
 		}
@@ -344,6 +661,9 @@ func (a *Application) Release(c *Container) {
 	// this instant sees the post-release state.
 	if a.rm.audit != nil {
 		a.rm.audit.OnContainerReleased(a.rm.eng.Now(), c, false)
+	}
+	if nm != nil && nm.draining && !nm.dead && len(nm.running) == 0 {
+		a.rm.completeDrain(nm, true)
 	}
 	a.rm.kick()
 }
@@ -398,7 +718,9 @@ func (rm *ResourceManager) allocate() {
 			continue
 		}
 		c := rm.allocateOn(nm, p.app, p.req.Resource, false)
-		rm.allocLatH.Observe(rm.eng.Now() - p.at)
+		lat := rm.eng.Now() - p.at
+		rm.allocLatH.Observe(lat)
+		rm.allocLatEWMA = 0.8*rm.allocLatEWMA + 0.2*lat
 		taken[p] = true
 		satisfied = append(satisfied, p)
 		containers = append(containers, c)
@@ -531,20 +853,20 @@ func (rm *ResourceManager) TenantContainers(tenant string) int {
 func (rm *ResourceManager) pickNode(res Resource, hint string, strict bool) *nodeManager {
 	if strict {
 		nm := rm.nms[hint]
-		if nm != nil && !nm.dead && res.Fits(nm.freeCores, nm.freeMem) {
+		if nm != nil && !nm.dead && !nm.draining && res.Fits(nm.freeCores, nm.freeMem) {
 			return nm
 		}
 		return nil
 	}
 	if hint != "" {
-		if nm := rm.nms[hint]; nm != nil && !nm.dead && res.Fits(nm.freeCores, nm.freeMem) {
+		if nm := rm.nms[hint]; nm != nil && !nm.dead && !nm.draining && res.Fits(nm.freeCores, nm.freeMem) {
 			return nm
 		}
 	}
 	var best *nodeManager
 	for _, id := range rm.order {
 		nm := rm.nms[id]
-		if nm.dead || !res.Fits(nm.freeCores, nm.freeMem) {
+		if nm.dead || nm.draining || !res.Fits(nm.freeCores, nm.freeMem) {
 			continue
 		}
 		if best == nil || nm.freeCores > best.freeCores ||
@@ -556,11 +878,12 @@ func (rm *ResourceManager) pickNode(res Resource, hint string, strict bool) *nod
 }
 
 func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Resource, am bool) *Container {
+	rm.accrueBusy(nm)
 	nm.freeCores -= res.VCores
 	nm.freeMem -= res.MemMB
 	rm.nextContainer++
 	rm.Allocated++
-	c := &Container{ID: rm.nextContainer, NodeID: nm.id, Resource: res, AppID: app.ID, Tenant: app.Tenant, AM: am}
+	c := &Container{ID: rm.nextContainer, NodeID: nm.id, Resource: res, AppID: app.ID, Tenant: app.Tenant, AM: am, allocAt: rm.eng.Now()}
 	if !am && app.Tenant != "" {
 		rm.tenantUse[app.Tenant]++
 	}
@@ -587,9 +910,15 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	if nm == nil || nm.dead {
 		return
 	}
+	rm.accrueBusy(nm)
+	rm.finalizeNodeCost(nm)
 	nm.dead = true
 	nm.freeCores = 0
 	nm.freeMem = 0
+	if nm.drainDone != nil {
+		// A crash during graceful decommission ends the drain ungracefully.
+		rm.completeDrain(nm, false)
+	}
 	rm.killedC.Inc()
 	if rm.audit != nil {
 		rm.audit.OnNodeDead(rm.eng.Now(), nodeID)
@@ -604,7 +933,9 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	for _, c := range lost {
 		c.released = true
 		// The node's capacity is gone, but the tenant's quota slot frees:
-		// the container no longer runs anywhere.
+		// the container no longer runs anywhere. Usage up to the crash is
+		// still charged — the tenant occupied the cores until now.
+		rm.chargeTenant(c, nm.spot)
 		rm.creditTenant(c)
 		rm.lostC.Inc()
 		if rm.audit != nil {
@@ -620,22 +951,7 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 		}
 	}
 	// Re-route pending strict requests pinned to the dead node.
-	kept := rm.pending[:0]
-	for _, p := range rm.pending {
-		if !p.req.Strict || p.req.NodeHint != nodeID {
-			kept = append(kept, p)
-			continue
-		}
-		if cb := p.req.OnUnplaceable; cb != nil {
-			req := p.req
-			rm.eng.Schedule(0, func() { cb(req) })
-			continue // withdrawn; the owner re-requests
-		}
-		p.req.Strict = false
-		p.req.NodeHint = ""
-		kept = append(kept, p)
-	}
-	rm.pending = kept
+	rm.rerouteStrict(nodeID)
 	rm.kick()
 }
 
@@ -660,13 +976,143 @@ func (rm *ResourceManager) FreeCapacity(nodeID string) (cores, memMB int) {
 	return nm.freeCores, nm.freeMem
 }
 
-// LiveNodes returns the IDs of nodes that have not been killed, sorted.
+// LiveNodes returns the IDs of nodes eligible for new allocations — not
+// killed, not draining, not removed — sorted.
 func (rm *ResourceManager) LiveNodes() []string {
 	out := make([]string, 0, len(rm.order))
 	for _, id := range rm.order {
-		if !rm.nms[id].dead {
+		nm := rm.nms[id]
+		if !nm.dead && !nm.draining {
 			out = append(out, id)
 		}
 	}
 	return out
+}
+
+// SpotNodes returns the IDs of live spot nodes that are not yet draining —
+// the candidate set for a spot-market preemption notice — sorted.
+func (rm *ResourceManager) SpotNodes() []string {
+	out := make([]string, 0, len(rm.order))
+	for _, id := range rm.order {
+		nm := rm.nms[id]
+		if nm.spot && !nm.dead && !nm.draining {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IsDraining reports whether the node is mid graceful decommission.
+func (rm *ResourceManager) IsDraining(nodeID string) bool {
+	nm := rm.nms[nodeID]
+	return nm != nil && nm.draining && !nm.dead
+}
+
+// NodeRunning returns the number of containers currently running on the
+// node (0 for unknown or dead nodes).
+func (rm *ResourceManager) NodeRunning(nodeID string) int {
+	nm := rm.nms[nodeID]
+	if nm == nil || nm.dead {
+		return 0
+	}
+	return len(nm.running)
+}
+
+// RegisteredNodes returns how many nodes the RM currently tracks, including
+// dead and draining ones — the quantity the bounded-state regression test
+// asserts on.
+func (rm *ResourceManager) RegisteredNodes() int { return len(rm.nms) }
+
+// QueuedRequests returns the RM-wide count of pending, unallocated container
+// requests — an autoscaling pressure signal.
+func (rm *ResourceManager) QueuedRequests() int { return len(rm.pending) }
+
+// Preempted returns how many running containers were preempted by node
+// removal (spot reclaim or drain-deadline expiry) over the RM's lifetime.
+func (rm *ResourceManager) Preempted() int { return rm.preempted }
+
+// AllocLatencyEWMA returns an exponentially weighted moving average of
+// recent request→allocation latencies in virtual seconds (0 before the
+// first allocation) — an autoscaling pressure signal.
+func (rm *ResourceManager) AllocLatencyEWMA() float64 { return rm.allocLatEWMA }
+
+// TenantCost is one tenant's accumulated container usage in core-seconds,
+// split by the class of node the containers ran on.
+type TenantCost struct {
+	OnDemandCoreSec float64 `json:"on_demand_core_sec"`
+	SpotCoreSec     float64 `json:"spot_core_sec"`
+}
+
+// CostReport is a snapshot of the RM's cost accounting. Node-seconds bill
+// wall-clock node lifetime by class (the cloud bill); core-seconds meter
+// allocated capacity (the attribution). Conservation: the sum over tenants
+// of core-seconds equals the cluster busy-core integral, per class — no
+// usage is lost or double-billed, even across joins, drains, reclaims, and
+// crashes.
+type CostReport struct {
+	OnDemandNodeSec float64               `json:"on_demand_node_sec"` // alive node-seconds, on-demand
+	SpotNodeSec     float64               `json:"spot_node_sec"`      // alive node-seconds, spot
+	OnDemandBusySec float64               `json:"on_demand_busy_sec"` // busy core-seconds, on-demand
+	SpotBusySec     float64               `json:"spot_busy_sec"`      // busy core-seconds, spot
+	Tenants         map[string]TenantCost `json:"tenants"`            // per-tenant usage ("" = untenanted apps)
+}
+
+// CostUnits converts the bill to abstract cost units: one unit per
+// on-demand node-second, spotPrice units per spot node-second.
+func (r CostReport) CostUnits(spotPrice float64) float64 {
+	return r.OnDemandNodeSec + spotPrice*r.SpotNodeSec
+}
+
+// CostReport returns the cost accounting as of now. The snapshot is pure:
+// live nodes and still-running containers contribute their usage up to the
+// current instant without mutating RM state.
+func (rm *ResourceManager) CostReport() CostReport {
+	now := rm.eng.Now()
+	rep := CostReport{
+		OnDemandNodeSec: rm.onDemandNodeSec,
+		SpotNodeSec:     rm.spotNodeSec,
+		OnDemandBusySec: rm.onDemandBusySec,
+		SpotBusySec:     rm.spotBusySec,
+		Tenants:         make(map[string]TenantCost, len(rm.tenantCost)),
+	}
+	for tn, tc := range rm.tenantCost {
+		rep.Tenants[tn] = *tc
+	}
+	for _, id := range rm.order {
+		nm := rm.nms[id]
+		if nm.dead {
+			continue // finalized at kill time
+		}
+		alive := now - nm.joinedAt
+		busy := nm.busyCoreSec + float64(nm.totalCores-nm.freeCores)*(now-nm.busyMark)
+		if nm.spot {
+			rep.SpotNodeSec += alive
+			rep.SpotBusySec += busy
+		} else {
+			rep.OnDemandNodeSec += alive
+			rep.OnDemandBusySec += busy
+		}
+		// Iterate running containers in ID order so float accumulation is
+		// identical across runs (map order would not be).
+		ids := make([]int64, 0, len(nm.running))
+		for cid := range nm.running {
+			ids = append(ids, cid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, cid := range ids {
+			c := nm.running[cid]
+			coreSec := float64(c.Resource.VCores) * (now - c.allocAt)
+			if coreSec == 0 {
+				continue
+			}
+			tc := rep.Tenants[c.Tenant]
+			if nm.spot {
+				tc.SpotCoreSec += coreSec
+			} else {
+				tc.OnDemandCoreSec += coreSec
+			}
+			rep.Tenants[c.Tenant] = tc
+		}
+	}
+	return rep
 }
