@@ -7,11 +7,18 @@
 // Usage:
 //
 //	hiway local -w wf.cf [-workdir DIR] [-workers N] [-bind name=path]
-//	hiway sim   -w wf.cf [-nodes N] [-policy fcfs|dataaware|roundrobin|heft|adaptive]
+//	hiway sim   -w wf.cf [-w wf2.dax ...] [-shard-workers N]
+//	            [-nodes N] [-policy fcfs|dataaware|roundrobin|heft|adaptive]
 //	            [-input path=sizeMB ...] [-bind name=path] [-prov out.jsonl]
 //	            [-trace out.json] [-metrics out.prom] [-decisions out.log]
 //	            [-chaos SPEC] [-chaos-seed N] [-timeout-floor SEC] [-speculate]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -w is repeatable: each occurrence becomes an independent workflow shard
+// simulated on its own cluster by a pool of -shard-workers goroutines
+// (default GOMAXPROCS), with stdout, per-shard artifact files
+// (out.json.shard00, ...), and the merged provenance stream all
+// byte-identical to a serial -shard-workers=1 run.
 //
 // -trace writes a Chrome trace_event JSON timeline (open in chrome://tracing
 // or Perfetto), -metrics a Prometheus text snapshot, -decisions the
@@ -23,6 +30,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +55,8 @@ import (
 	"hiway/internal/provenance"
 	"hiway/internal/recipes"
 	"hiway/internal/scheduler"
+	"hiway/internal/shard"
+	"hiway/internal/sim"
 	"hiway/internal/verify"
 	"hiway/internal/wf"
 	"hiway/internal/yarn"
@@ -92,12 +102,15 @@ func usage() {
   hiway local -w WORKFLOW [-workdir DIR] [-workers N] [-lang L] [-bind name=path ...]
       run the workflow with real processes on this machine
 
-  hiway sim -w WORKFLOW [-nodes N] [-policy P] [-lang L]
+  hiway sim -w WORKFLOW [-w WORKFLOW ...] [-shard-workers N]
+            [-nodes N] [-policy P] [-lang L]
             [-input path=sizeMB ...] [-bind name=path ...] [-prov FILE.jsonl]
             [-trace FILE.json] [-metrics FILE.prom] [-decisions FILE.log]
             [-trace-sample N] [-gantt] [-timeline FILE.csv]
             [-cpuprofile FILE] [-memprofile FILE]
-      run the workflow on a simulated YARN cluster
+      run the workflow(s) on a simulated YARN cluster; repeated -w flags
+      become independent shards simulated in parallel with deterministic
+      merged output
 
   hiway inspect -w WORKFLOW [-lang L] [-bind name=path ...]
       analyze a static workflow's structure without running it
@@ -230,9 +243,89 @@ func runLocal(args []string) error {
 	return nil
 }
 
+// simShard is one workflow of a (possibly multi-workflow) sim invocation,
+// with its own complete simulation substrate. All fields are assembled on
+// the serial setup path; run() only touches shard-local state, so shards can
+// execute on parallel workers while every observable output — the buffered
+// stdout block, the provenance events, the metrics snapshot — stays
+// byte-identical at any worker count.
+type simShard struct {
+	driver wf.Driver
+	eng    *sim.Engine
+	env    core.Env
+	sched  scheduler.Scheduler
+	cfg    core.Config
+	o      *obs.Obs
+	store  *provenance.MemStore // shard-local event buffer for the merged -prov file
+	gantt  bool
+
+	out    bytes.Buffer
+	rep    *core.Report
+	events []provenance.Event
+}
+
+func (s *simShard) run() error {
+	am, err := core.Launch(s.env, s.driver, s.sched, s.cfg)
+	if err != nil {
+		return err
+	}
+	if s.o != nil && !am.Finished() {
+		// Periodic counter samples on the virtual clock. The tick re-arms
+		// only while the workflow runs, so it never keeps the engine alive.
+		tr := s.o.T()
+		var tick func()
+		tick = func() {
+			if am.Finished() {
+				return
+			}
+			tr.Sample("sim", "event_queue_depth", float64(s.eng.Pending()))
+			tr.Sample("yarn", "running_containers", float64(s.env.RM.RunningContainers()))
+			tr.Sample("sched", "queued_tasks", float64(s.sched.Queued()))
+			s.eng.Schedule(1, tick)
+		}
+		s.eng.Schedule(1, tick)
+	}
+	s.eng.Run()
+	rep, err := am.Report()
+	if err != nil {
+		return err
+	}
+	if s.o != nil {
+		s.env.Cluster.RecordMetrics(s.o.M())
+	}
+	fmt.Fprintln(&s.out, rep.Summary())
+	for _, out := range rep.Outputs {
+		fmt.Fprintln(&s.out, "output:", out)
+	}
+	if s.gantt {
+		fmt.Fprint(&s.out, rep.Gantt(100))
+	}
+	s.rep = rep
+	if s.store != nil {
+		if err := s.env.Prov.Flush(); err != nil {
+			return err
+		}
+		if s.events, err = s.store.Events(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardFile derives the per-shard variant of an output path: the path itself
+// for a single-workflow run, path.shardNN with multiple workflows.
+func shardFile(path string, i, n int) string {
+	if n == 1 {
+		return path
+	}
+	return fmt.Sprintf("%s.shard%02d", path, i)
+}
+
 func runSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
-	wfPath := fs.String("w", "", "workflow file (required)")
+	var wfPaths multiFlag
+	fs.Var(&wfPaths, "w", "workflow file (repeatable: each extra -w runs as an independent shard)")
+	shardWorkers := fs.Int("shard-workers", runtime.GOMAXPROCS(0), "goroutines simulating shards in parallel (outputs are identical at any value)")
 	nodes := fs.Int("nodes", 8, "number of simulated worker nodes")
 	policy := fs.String("policy", scheduler.PolicyDataAware, "scheduling policy")
 	lang := fs.String("lang", "", "force workflow language")
@@ -254,90 +347,111 @@ func runSim(args []string) error {
 	fs.Var(&inputs, "input", "stage an input file: path=sizeMB (repeatable)")
 	fs.Var(&binds, "bind", "bind a Galaxy input: name=path (repeatable)")
 	fs.Parse(args)
-	if *wfPath == "" {
+	if len(wfPaths) == 0 {
 		return fmt.Errorf("missing -w workflow file")
 	}
 	bindMap, err := parseBinds(binds)
 	if err != nil {
 		return err
 	}
-	driver, err := buildDriver(*wfPath, detectLang(*wfPath, *lang), bindMap)
-	if err != nil {
-		return err
-	}
 
-	r := &recipes.Recipe{
-		Name:       "hiway-sim",
-		Groups:     []recipes.NodeGroup{{Count: *nodes, Spec: cluster.M3Large()}},
-		SwitchMBps: 2000,
-		HDFS:       hdfs.Config{},
-		YARN:       yarn.Config{},
-		Seed:       1,
-	}
-	eng, env, err := r.Materialize()
-	if err != nil {
-		return err
-	}
-	var store provenance.Store = provenance.NewMemStore()
+	// --- Serial setup phase. Everything that draws from process-global
+	// state (workflow parsing and its task-ID allocation, workflow-ID
+	// assignment) happens here, in -w flag order, so the shard workers
+	// below start from identical state at any -shard-workers value.
+	n := len(wfPaths)
+	multi := n > 1
+	var fstore *provenance.FileStore
 	if *provPath != "" {
-		fstore, err := provenance.OpenFileStore(*provPath)
-		if err != nil {
+		if fstore, err = provenance.OpenFileStore(*provPath); err != nil {
 			return err
 		}
 		defer fstore.Close()
-		store = fstore
 	}
-	env.Prov, err = provenance.NewManager(store)
-	if err != nil {
-		return err
+	shards := make([]*simShard, n)
+	for i, wfPath := range wfPaths {
+		driver, err := buildDriver(wfPath, detectLang(wfPath, *lang), bindMap)
+		if err != nil {
+			return err
+		}
+		r := &recipes.Recipe{
+			Name:       "hiway-sim",
+			Groups:     []recipes.NodeGroup{{Count: *nodes, Spec: cluster.M3Large()}},
+			SwitchMBps: 2000,
+			HDFS:       hdfs.Config{},
+			YARN:       yarn.Config{},
+			Seed:       1,
+		}
+		eng, env, err := r.Materialize()
+		if err != nil {
+			return err
+		}
+		s := &simShard{driver: driver, eng: eng, env: env, gantt: *gantt}
+		// A single workflow streams provenance straight to the trace file;
+		// multiple workflows buffer per shard and merge after the run.
+		var store provenance.Store = provenance.NewMemStore()
+		if fstore != nil && !multi {
+			store = fstore
+		} else if fstore != nil {
+			s.store = store.(*provenance.MemStore)
+		}
+		if s.env.Prov, err = provenance.NewManager(store); err != nil {
+			return err
+		}
+		// Observability is built only when an output asks for it, so the
+		// default run keeps the nil-handle fast path everywhere.
+		if *tracePath != "" || *metricsPath != "" || *decisionsPath != "" {
+			s.o = obs.New(eng.Now)
+			if *traceSample > 1 {
+				s.o.T().SetSampleEvery(*traceSample)
+			}
+			s.env.Obs = s.o
+			s.env.RM.SetObs(s.o)
+			s.env.Prov.SetObs(s.o)
+		}
+		for _, in := range inputs {
+			path, szStr, ok := strings.Cut(in, "=")
+			if !ok {
+				return fmt.Errorf("bad -input %q (want path=sizeMB)", in)
+			}
+			sz, err := strconv.ParseFloat(szStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad -input size %q: %v", szStr, err)
+			}
+			if _, err := s.env.FS.Put(path, sz, ""); err != nil {
+				return err
+			}
+		}
+		if s.sched, err = scheduler.New(*policy, scheduler.Deps{Locality: s.env.FS, Estimator: s.env.Prov, Obs: s.o}); err != nil {
+			return err
+		}
+		s.cfg = core.Config{
+			TaskTimeoutFloorSec: *timeoutFloor,
+			TimeoutSlack:        *timeoutSlack,
+			Speculate:           *speculate,
+		}
+		if *chaosSpec != "" {
+			plan, err := chaos.Parse(*chaosSpec, *chaosSeed)
+			if err != nil {
+				return err
+			}
+			plan.Arm(eng, s.env.RM, s.env.FS, s.env.Cluster)
+			s.cfg.Chaos = plan
+			// Under injected faults, track node health so repeatedly failing
+			// nodes get blacklisted like they would in production.
+			s.cfg.Health = scheduler.NewNodeHealthTracker(eng.Now, 3, 60)
+			fmt.Fprintln(&s.out, "chaos:", plan)
+		}
+		// Parse now (consuming the global task-ID counter serially) and
+		// pin the workflow ID core.Launch would otherwise derive inside
+		// the worker.
+		if s.driver, err = shard.PreParse(driver); err != nil {
+			return err
+		}
+		s.cfg.WorkflowID = fmt.Sprintf("hiway-%s-%d", driver.Name(), wf.NextID())
+		shards[i] = s
 	}
 
-	// Observability is built only when an output asks for it, so the default
-	// run keeps the nil-handle fast path everywhere.
-	var o *obs.Obs
-	if *tracePath != "" || *metricsPath != "" || *decisionsPath != "" {
-		o = obs.New(eng.Now)
-		if *traceSample > 1 {
-			o.T().SetSampleEvery(*traceSample)
-		}
-		env.Obs = o
-		env.RM.SetObs(o)
-		env.Prov.SetObs(o)
-	}
-	for _, in := range inputs {
-		path, szStr, ok := strings.Cut(in, "=")
-		if !ok {
-			return fmt.Errorf("bad -input %q (want path=sizeMB)", in)
-		}
-		sz, err := strconv.ParseFloat(szStr, 64)
-		if err != nil {
-			return fmt.Errorf("bad -input size %q: %v", szStr, err)
-		}
-		if _, err := env.FS.Put(path, sz, ""); err != nil {
-			return err
-		}
-	}
-	sched, err := scheduler.New(*policy, scheduler.Deps{Locality: env.FS, Estimator: env.Prov, Obs: o})
-	if err != nil {
-		return err
-	}
-	cfg := core.Config{
-		TaskTimeoutFloorSec: *timeoutFloor,
-		TimeoutSlack:        *timeoutSlack,
-		Speculate:           *speculate,
-	}
-	if *chaosSpec != "" {
-		plan, err := chaos.Parse(*chaosSpec, *chaosSeed)
-		if err != nil {
-			return err
-		}
-		plan.Arm(eng, env.RM, env.FS, env.Cluster)
-		cfg.Chaos = plan
-		// Under injected faults, track node health so repeatedly failing
-		// nodes get blacklisted like they would in production.
-		cfg.Health = scheduler.NewNodeHealthTracker(eng.Now, 3, 60)
-		fmt.Println("chaos:", plan)
-	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -349,33 +463,15 @@ func runSim(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	am, err := core.Launch(env, driver, sched, cfg)
-	if err != nil {
+
+	// --- Parallel phase: one engine per shard, nothing shared.
+	if err := shard.Run(n, *shardWorkers, func(i int) error { return shards[i].run() }); err != nil {
 		return err
 	}
-	if o != nil && !am.Finished() {
-		// Periodic counter samples on the virtual clock. The tick re-arms
-		// only while the workflow runs, so it never keeps the engine alive.
-		tr := o.T()
-		var tick func()
-		tick = func() {
-			if am.Finished() {
-				return
-			}
-			tr.Sample("sim", "event_queue_depth", float64(eng.Pending()))
-			tr.Sample("yarn", "running_containers", float64(env.RM.RunningContainers()))
-			tr.Sample("sched", "queued_tasks", float64(sched.Queued()))
-			eng.Schedule(1, tick)
-		}
-		eng.Schedule(1, tick)
-	}
-	eng.Run()
-	rep, err := am.Report()
-	if err != nil {
-		return err
-	}
-	if o != nil {
-		env.Cluster.RecordMetrics(o.M())
+
+	// --- Deterministic output phase, in shard order throughout.
+	for _, s := range shards {
+		os.Stdout.Write(s.out.Bytes())
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -392,41 +488,45 @@ func runSim(args []string) error {
 		}
 		fmt.Println("heap profile:", *memProfile)
 	}
-	fmt.Println(rep.Summary())
-	for _, out := range rep.Outputs {
-		fmt.Println("output:", out)
-	}
-	if *gantt {
-		fmt.Print(rep.Gantt(100))
-	}
 	if *timelinePath != "" {
-		if err := os.WriteFile(*timelinePath, []byte(rep.TimelineCSV()), 0o644); err != nil {
-			return err
+		for i, s := range shards {
+			p := shardFile(*timelinePath, i, n)
+			if err := os.WriteFile(p, []byte(s.rep.TimelineCSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("timeline:", p)
 		}
-		fmt.Println("timeline:", *timelinePath)
 	}
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			return err
+		for i, s := range shards {
+			p := shardFile(*tracePath, i, n)
+			f, err := os.Create(p)
+			if err != nil {
+				return err
+			}
+			if err := s.o.T().WriteChrome(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Println("trace:", p)
 		}
-		if err := o.T().WriteChrome(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Println("trace:", *tracePath)
 	}
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
 		if err != nil {
 			return err
 		}
-		if err := o.M().WritePrometheus(f); err != nil {
-			f.Close()
-			return err
+		for i, s := range shards {
+			if multi {
+				fmt.Fprintf(f, "# shard %02d: %s\n", i, s.driver.Name())
+			}
+			if err := s.o.M().WritePrometheus(f); err != nil {
+				f.Close()
+				return err
+			}
 		}
 		if err := f.Close(); err != nil {
 			return err
@@ -434,12 +534,26 @@ func runSim(args []string) error {
 		fmt.Println("metrics:", *metricsPath)
 	}
 	if *decisionsPath != "" {
-		if err := os.WriteFile(*decisionsPath, []byte(o.D().Render()), 0o644); err != nil {
-			return err
+		for i, s := range shards {
+			p := shardFile(*decisionsPath, i, n)
+			if err := os.WriteFile(p, []byte(s.o.D().Render()), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("decisions:", p)
 		}
-		fmt.Println("decisions:", *decisionsPath)
 	}
 	if *provPath != "" {
+		if multi {
+			// Merge the buffered per-shard streams into one file, ordered
+			// by (timestamp, shard, shard-local position).
+			perShard := make([][]provenance.Event, n)
+			for i, s := range shards {
+				perShard[i] = s.events
+			}
+			if err := fstore.AppendBatch(shard.MergeEvents(perShard)); err != nil {
+				return err
+			}
+		}
 		fmt.Println("provenance trace:", *provPath)
 	}
 	return nil

@@ -1,15 +1,35 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"hiway/internal/provdb"
 	"hiway/internal/provenance"
+	"hiway/internal/scheduler"
 )
+
+// TestMain doubles as a helper process: when HIWAY_SIM_HELPER is set, the
+// test binary runs `sim` with the \x1f-separated arguments instead of the
+// test suite. The shard-determinism test needs fresh processes because task
+// and workflow IDs come from a process-global counter — two runs are only
+// comparable byte-for-byte when both start from a fresh ID space.
+func TestMain(m *testing.M) {
+	if spec := os.Getenv("HIWAY_SIM_HELPER"); spec != "" {
+		if err := runSim(strings.Split(spec, "\x1f")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestDetectLang(t *testing.T) {
 	cases := map[string]string{
@@ -285,5 +305,98 @@ t( x: "1" );`
 	store.Close()
 	if err := runProv([]string{"-db", dbPath}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSimShardDeterminism pins the parallel-shard contract end to end: for
+// every scheduling policy, a multi-workflow `hiway sim` must produce
+// byte-identical stdout, merged provenance trace, and metrics snapshot
+// whether the shards run serially (-shard-workers 1) or on parallel workers.
+// Each run gets a fresh process (see TestMain) so both start from the same
+// task-ID space; output paths are normalized before comparison since the
+// runs write to different directories.
+func TestSimShardDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	wfA := write("alpha.dax", `<adag name="alpha">
+  <job id="A" name="prep" runtime="2"><uses file="a1" link="output" size="8"/></job>
+  <job id="B" name="crunch" runtime="5"><uses file="a1" link="input"/><uses file="a2" link="output" size="4"/></job>
+  <child ref="B"><parent ref="A"/></child>
+</adag>`)
+	wfB := write("beta.dax", `<adag name="beta">
+  <job id="X" name="scan" runtime="3"><uses file="b1" link="output" size="6"/></job>
+  <job id="Y" name="merge" runtime="4"><uses file="b1" link="input"/><uses file="b2" link="output" size="2"/></job>
+  <child ref="Y"><parent ref="X"/></child>
+</adag>`)
+	policies := []string{
+		scheduler.PolicyFCFS, scheduler.PolicyDataAware, scheduler.PolicyRoundRobin,
+		scheduler.PolicyHEFT, scheduler.PolicyAdaptiveGreedy,
+	}
+	type run struct{ stdout, prov, metrics []byte }
+	for _, pol := range policies {
+		var runs []run
+		for _, workers := range []string{"1", "4"} {
+			sub := filepath.Join(dir, pol+"-w"+workers)
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			provPath := filepath.Join(sub, "run.jsonl")
+			promPath := filepath.Join(sub, "run.prom")
+			args := []string{
+				"-w", wfA, "-w", wfB, "-shard-workers", workers,
+				"-nodes", "4", "-policy", pol,
+				"-prov", provPath, "-metrics", promPath,
+			}
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(), "HIWAY_SIM_HELPER="+strings.Join(args, "\x1f"))
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("policy %s workers %s: %v\n%s", pol, workers, err, stderr.String())
+			}
+			prov, err := os.ReadFile(provPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			metrics, err := os.ReadFile(promPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := bytes.ReplaceAll(stdout.Bytes(), []byte(sub), []byte("@OUT@"))
+			runs = append(runs, run{stdout: out, prov: prov, metrics: metrics})
+		}
+		if !bytes.Equal(runs[0].stdout, runs[1].stdout) {
+			t.Errorf("policy %s: stdout differs between serial and parallel shards:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				pol, runs[0].stdout, runs[1].stdout)
+		}
+		if !bytes.Equal(runs[0].prov, runs[1].prov) {
+			t.Errorf("policy %s: merged provenance trace differs between serial and parallel shards", pol)
+		}
+		if !bytes.Equal(runs[0].metrics, runs[1].metrics) {
+			t.Errorf("policy %s: metrics snapshot differs between serial and parallel shards", pol)
+		}
+		// Sanity: the merged trace holds both workflows, timestamp-ordered.
+		evs, err := provenance.ParseTrace(string(runs[0].prov))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wfs := map[string]bool{}
+		last := -1.0
+		for _, ev := range evs {
+			wfs[ev.WorkflowName] = true
+			if ev.Timestamp < last {
+				t.Fatalf("policy %s: merged trace out of order (%f after %f)", pol, ev.Timestamp, last)
+			}
+			last = ev.Timestamp
+		}
+		if !wfs["alpha"] || !wfs["beta"] {
+			t.Fatalf("policy %s: merged trace missing a workflow: %v", pol, wfs)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"hiway/internal/provenance"
 	"hiway/internal/recipes"
 	"hiway/internal/scheduler"
+	"hiway/internal/shard"
 	"hiway/internal/wf"
 	"hiway/internal/workloads"
 	"hiway/internal/yarn"
@@ -29,11 +30,28 @@ type ScaleConfig struct {
 	Nodes  int    // worker nodes; default 16
 	Policy string // scheduling policy; default dataaware
 
+	// Shards > 1 splits the point into that many independent workflows,
+	// each with Tasks/Shards tasks, Width/Shards lanes and Nodes/Shards
+	// nodes on its own simulation substrate, executed by the shard runner
+	// (ShardWorkers goroutines; default GOMAXPROCS). This is how the top
+	// rungs keep per-event cost in the flat small-cluster regime: the
+	// switch model's reshare cost grows with concurrent flows per engine,
+	// so one 1024-node engine is slower per event than sixteen 64-node
+	// engines simulating the same aggregate work.
+	Shards       int
+	ShardWorkers int
+
 	TaskCPUSeconds float64 // per-task compute; default 20
 	FileMB         float64 // per-task output size; default 8
 }
 
 func (c *ScaleConfig) setDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.ShardWorkers <= 0 {
+		c.ShardWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.Width <= 0 {
 		c.Width = 64
 	}
@@ -59,6 +77,7 @@ type ScalePoint struct {
 	Tasks  int    `json:"tasks"`
 	Nodes  int    `json:"nodes"`
 	Policy string `json:"policy"`
+	Shards int    `json:"shards,omitempty"`
 
 	MakespanSec  float64 `json:"makespanSec"`  // virtual time
 	WallSec      float64 `json:"wallSec"`      // real time to simulate it
@@ -87,6 +106,10 @@ func syntheticWorkflow(cfg ScaleConfig) (wf.Driver, []workloads.Input) {
 		inputs[w] = workloads.Input{Path: p, SizeMB: cfg.FileMB}
 		initial[w] = p
 	}
+	// The ID block is reserved here, on the caller's (serial) goroutine;
+	// Build itself may later run on a shard worker, and must not draw from
+	// the process-global counter there.
+	idBase := wf.ReserveIDs(int64(layers * cfg.Width))
 	build := func() ([]*wf.Task, []string, []wf.Edge, error) {
 		var tasks []*wf.Task
 		out := func(l, w int) string { return fmt.Sprintf("/scale/l%03d/part-%04d", l, w) }
@@ -100,7 +123,7 @@ func syntheticWorkflow(cfg ScaleConfig) (wf.Driver, []workloads.Input) {
 				}
 				p := out(l, w)
 				tasks = append(tasks, &wf.Task{
-					ID:           wf.NextID(),
+					ID:           idBase + int64(l*cfg.Width+w),
 					Name:         fmt.Sprintf("stage-%03d", l),
 					Command:      fmt.Sprintf("synth stage %d lane %d", l, w),
 					Inputs:       ins,
@@ -117,52 +140,105 @@ func syntheticWorkflow(cfg ScaleConfig) (wf.Driver, []workloads.Input) {
 	return &wf.StaticBase{WFName: fmt.Sprintf("scale-%dx%d", layers, cfg.Width), Build: build}, inputs
 }
 
-// Scale executes one configuration and measures the simulator itself:
-// virtual makespan, wall time, events/sec, and heap allocations.
-func Scale(cfg ScaleConfig) (ScalePoint, error) {
-	cfg.setDefaults()
-	driver, inputs := syntheticWorkflow(cfg)
+// scaleShard is one shard of a scale point. The workflow driver is created
+// on the serial path (reserving the shard's task-ID block there — see
+// syntheticWorkflow), while the simulation substrate is assembled inside
+// run() on the shard worker, so substrate construction and parsing are part
+// of the measured phase exactly as in a single-substrate run. After run()
+// everything but the scalar measurements is dropped, keeping the live heap
+// one-shard-sized however many shards the point has.
+type scaleShard struct {
+	cfg    ScaleConfig
+	seed   int64
+	driver wf.Driver
+	inputs []workloads.Input
+
+	events     int64
+	containers int64
+	makespan   float64
+}
+
+func (s *scaleShard) run() error {
 	r := &recipes.Recipe{
 		Name:       "scale",
-		Groups:     []recipes.NodeGroup{{Count: cfg.Nodes, Spec: cluster.C32XLarge()}},
-		SwitchMBps: 40 * float64(cfg.Nodes),
+		Groups:     []recipes.NodeGroup{{Count: s.cfg.Nodes, Spec: cluster.C32XLarge()}},
+		SwitchMBps: 40 * float64(s.cfg.Nodes),
 		HDFS:       hdfs.Config{BlockSizeMB: 64, Replication: 3},
 		YARN:       yarn.Config{},
-		Seed:       1,
-		Inputs:     inputs,
+		Seed:       s.seed,
+		Inputs:     s.inputs,
 	}
 	e, err := buildEnv(r, provenance.NewMemStore())
 	if err != nil {
-		return ScalePoint{}, err
+		return err
 	}
-	sched, err := scheduler.New(cfg.Policy, scheduler.Deps{Locality: e.FS, Estimator: e.Prov})
+	sched, err := scheduler.New(s.cfg.Policy, scheduler.Deps{Locality: e.FS, Estimator: e.Prov})
 	if err != nil {
-		return ScalePoint{}, err
+		return err
+	}
+	rep, err := core.Run(e.Env, s.driver, sched, core.Config{ContainerVCores: 1, ContainerMemMB: 1024})
+	if err != nil {
+		return err
+	}
+	s.events = e.eng.Processed()
+	s.containers = rep.Containers
+	s.makespan = rep.MakespanSec
+	s.driver, s.inputs = nil, nil
+	return nil
+}
+
+// Scale executes one configuration and measures the simulator itself:
+// virtual makespan, wall time, events/sec, and heap allocations. With
+// cfg.Shards > 1 the point runs as that many independent workflows on
+// separate engines via the shard runner; events and containers are summed,
+// the makespan is the slowest shard's (the shards model disjoint clusters
+// running concurrently), and wall time covers the whole parallel phase
+// including each shard's substrate construction and parse.
+func Scale(cfg ScaleConfig) (ScalePoint, error) {
+	cfg.setDefaults()
+
+	per := cfg
+	per.Tasks = cfg.Tasks / cfg.Shards
+	per.Width = cfg.Width / cfg.Shards
+	per.Nodes = cfg.Nodes / cfg.Shards
+	per.setDefaults()
+
+	shards := make([]*scaleShard, cfg.Shards)
+	for i := range shards {
+		driver, inputs := syntheticWorkflow(per)
+		shards[i] = &scaleShard{cfg: per, seed: int64(i + 1), driver: driver, inputs: inputs}
 	}
 
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	rep, err := core.Run(e.Env, driver, sched, core.Config{ContainerVCores: 1, ContainerMemMB: 1024})
+	err := shard.Run(len(shards), cfg.ShardWorkers, func(i int) error { return shards[i].run() })
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return ScalePoint{}, err
 	}
-	events := e.eng.Processed()
+
 	pt := ScalePoint{
-		Tasks:       cfg.Tasks / cfg.Width * cfg.Width,
-		Nodes:       cfg.Nodes,
-		Policy:      cfg.Policy,
-		MakespanSec: rep.MakespanSec,
-		WallSec:     wall,
-		Events:      events,
-		AllocMB:     float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-		Containers:  rep.Containers,
+		Tasks:   per.Tasks / per.Width * per.Width * cfg.Shards,
+		Nodes:   per.Nodes * cfg.Shards,
+		Policy:  cfg.Policy,
+		WallSec: wall,
+		AllocMB: float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+	}
+	if cfg.Shards > 1 {
+		pt.Shards = cfg.Shards
+	}
+	for _, s := range shards {
+		pt.Events += s.events
+		pt.Containers += s.containers
+		if s.makespan > pt.MakespanSec {
+			pt.MakespanSec = s.makespan
+		}
 	}
 	if wall > 0 {
-		pt.EventsPerSec = float64(events) / wall
+		pt.EventsPerSec = float64(pt.Events) / wall
 	}
 	return pt, nil
 }
@@ -179,6 +255,7 @@ func ScaleSweepConfigs(full bool) []ScaleConfig {
 			ScaleConfig{Tasks: 4096, Width: 128, Nodes: 128, Policy: scheduler.PolicyDataAware},
 			ScaleConfig{Tasks: 10240, Width: 256, Nodes: 256, Policy: scheduler.PolicyDataAware},
 			ScaleConfig{Tasks: 10240, Width: 256, Nodes: 256, Policy: scheduler.PolicyAdaptiveGreedy},
+			ScaleConfig{Tasks: 102400, Width: 1024, Nodes: 1024, Shards: 16, Policy: scheduler.PolicyDataAware},
 		)
 	}
 	return cfgs
@@ -207,8 +284,12 @@ func (r *ScaleResult) JSON() []byte {
 func (r *ScaleResult) Render() string {
 	rows := make([][]string, 0, len(r.Points))
 	for _, p := range r.Points {
+		sh := p.Shards
+		if sh == 0 {
+			sh = 1
+		}
 		rows = append(rows, []string{
-			fmt.Sprint(p.Tasks), fmt.Sprint(p.Nodes), p.Policy,
+			fmt.Sprint(p.Tasks), fmt.Sprint(p.Nodes), fmt.Sprint(sh), p.Policy,
 			fmt.Sprintf("%.0f", p.MakespanSec),
 			fmt.Sprintf("%.3f", p.WallSec),
 			fmt.Sprint(p.Events),
@@ -217,7 +298,7 @@ func (r *ScaleResult) Render() string {
 		})
 	}
 	return table(
-		[]string{"tasks", "nodes", "policy", "makespan-s", "wall-s", "events", "events/s", "alloc-MB"},
+		[]string{"tasks", "nodes", "shards", "policy", "makespan-s", "wall-s", "events", "events/s", "alloc-MB"},
 		rows,
 	)
 }

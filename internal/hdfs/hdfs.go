@@ -50,6 +50,17 @@ type FS struct {
 	excluded map[string]bool // non-datanode (master) nodes
 	epoch    uint64          // bumped whenever existing files' locality can change
 
+	// liveNodes cache: every dead/excluded mutation bumps epoch and every
+	// membership change bumps the cluster version, so the pair keys
+	// invalidation exactly. liveOwned is the FS-owned backing buffer; the
+	// cache may instead alias the cluster's read-only NodeIDs slice.
+	liveCache    []string
+	liveOwned    []string
+	liveValid    bool
+	liveCV       uint64
+	liveEpoch    uint64
+	placeScratch []string // reusable candidate buffer for placeReplicas
+
 	// readFault, when set, is consulted before each Read; a non-nil error
 	// fails that read as a transient I/O error (the chaos harness's model
 	// of flaky datanode reads). The caller is expected to retry.
@@ -199,21 +210,23 @@ func (fs *FS) PutExternal(path string, sizeMB float64) *File {
 }
 
 // placeReplicas picks replica nodes: first on the writer (if live), the
-// rest on distinct random live nodes.
+// rest on distinct random live nodes. The candidate buffer is reused
+// across calls; the full shuffle is kept (rather than a partial draw) so
+// the placement rng stream matches the original implementation exactly.
 func (fs *FS) placeReplicas(writerNode string) []string {
 	live := fs.liveNodes()
 	reps := make([]string, 0, fs.cfg.Replication)
 	if writerNode != "" && !fs.dead[writerNode] && !fs.excluded[writerNode] {
 		reps = append(reps, writerNode)
 	}
-	// Shuffle the remaining candidates deterministically.
-	cands := make([]string, 0, len(live))
+	cands := fs.placeScratch[:0]
 	for _, id := range live {
 		if len(reps) > 0 && id == reps[0] {
 			continue
 		}
 		cands = append(cands, id)
 	}
+	fs.placeScratch = cands
 	fs.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 	for _, id := range cands {
 		if len(reps) >= fs.cfg.Replication {
@@ -224,18 +237,29 @@ func (fs *FS) placeReplicas(writerNode string) []string {
 	return reps
 }
 
+// liveNodes returns the IDs of nodes that can hold new replicas, in ID
+// order. The result is cached between liveness/membership changes and must
+// be treated as read-only.
 func (fs *FS) liveNodes() []string {
+	cv := fs.cluster.Version()
+	if fs.liveValid && fs.liveCV == cv && fs.liveEpoch == fs.epoch {
+		return fs.liveCache
+	}
 	ids := fs.cluster.NodeIDs()
 	if len(fs.dead) == 0 && len(fs.excluded) == 0 {
-		return ids
-	}
-	out := ids[:0:0]
-	for _, id := range ids {
-		if !fs.dead[id] && !fs.excluded[id] {
-			out = append(out, id)
+		fs.liveCache = ids // alias the cluster's cache; both are read-only
+	} else {
+		out := fs.liveOwned[:0]
+		for _, id := range ids {
+			if !fs.dead[id] && !fs.excluded[id] {
+				out = append(out, id)
+			}
 		}
+		fs.liveOwned = out
+		fs.liveCache = out
 	}
-	return out
+	fs.liveValid, fs.liveCV, fs.liveEpoch = true, cv, fs.epoch
+	return fs.liveCache
 }
 
 // KillNode marks a node as crashed: its replicas become unreadable and it

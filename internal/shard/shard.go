@@ -1,0 +1,162 @@
+// Package shard runs independent workflow simulations in parallel — one
+// complete simulation substrate (engine, cluster, YARN RM, HDFS, provenance
+// store) per shard, on a bounded pool of worker goroutines — and merges
+// their outputs deterministically.
+//
+// Discrete-event simulation is inherently serial within one virtual clock,
+// but Hi-WAY's unit of isolation is the workflow: two workflows submitted to
+// different (simulated) clusters share nothing, so their simulations can
+// proceed on separate engines concurrently. The contract that makes the
+// parallelism invisible is determinism: for a fixed shard list, every output
+// an observer can see — per-shard reports, the merged provenance stream —
+// is byte-identical whatever the worker count, including Workers=1 (serial
+// mode is the same framework, not a separate code path).
+//
+// Two rules keep that contract:
+//
+//  1. Shard functions share no mutable state. Each builds its own substrate
+//     and writes only to its own result slot. Anything derived from global
+//     counters (e.g. workflow IDs via wf.NextID) must be assigned in the
+//     serial setup phase, before workers start.
+//  2. Merge order is a pure function of the data: provenance events are
+//     ordered by (timestamp, shard index, within-shard position), never by
+//     completion order.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hiway/internal/provenance"
+	"hiway/internal/wf"
+)
+
+// preParsed replays a Parse result captured during the serial setup phase.
+// Frontends allocate task IDs from wf's process-global counter while
+// parsing; calling Parse inside a worker goroutine would interleave those
+// allocations across shards and make the IDs — which provenance records —
+// depend on goroutine scheduling. PreParse moves the allocation before the
+// fan-out, so static workflows carry identical task IDs at any worker count.
+type preParsed struct {
+	wf.Driver
+	ready []*wf.Task
+}
+
+func (p *preParsed) Parse() ([]*wf.Task, error) { return p.ready, nil }
+
+// preParsedStatic additionally forwards the full DAG so static planners
+// (round-robin, HEFT) still recognize the driver as a wf.StaticDriver.
+type preParsedStatic struct {
+	preParsed
+	static wf.StaticDriver
+}
+
+func (p *preParsedStatic) Graph() *wf.DAG { return p.static.Graph() }
+
+// PreParse eagerly parses d — it must be called from the serial setup phase,
+// never from a shard worker — and returns a driver whose Parse replays the
+// cached ready set. Iterative frontends (Cuneiform) still allocate IDs for
+// newly discovered tasks mid-run; only workflows whose task graph is fixed
+// at parse time get the full any-worker-count ID determinism.
+func PreParse(d wf.Driver) (wf.Driver, error) {
+	ready, err := d.Parse()
+	if err != nil {
+		return nil, err
+	}
+	if sd, ok := d.(wf.StaticDriver); ok {
+		return &preParsedStatic{preParsed{Driver: d, ready: ready}, sd}, nil
+	}
+	return &preParsed{Driver: d, ready: ready}, nil
+}
+
+// Run executes fn(i) for every shard i in [0, n) on at most workers
+// concurrent goroutines (workers <= 1 means strictly serial, in shard
+// order). It always waits for all shards; if any fail, the error of the
+// lowest-indexed failing shard is returned, wrapped with its index, so the
+// reported failure does not depend on goroutine interleaving.
+func Run(n, workers int, fn func(shard int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("panic: %v", r)
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MergeEvents merges per-shard provenance streams into one stream ordered by
+// (timestamp, shard index, within-shard position). Each shard's stream is
+// assumed to be in its own append order (which the per-shard Manager
+// guarantees is timestamp-ordered on that shard's virtual clock); the merge
+// is stable, so equal-timestamp events keep shard order first and shard-local
+// order second. The result is independent of how the shards were scheduled
+// onto workers.
+func MergeEvents(shards [][]provenance.Event) []provenance.Event {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	type tagged struct {
+		shard int
+		ev    provenance.Event
+	}
+	all := make([]tagged, 0, total)
+	for i, s := range shards {
+		for _, ev := range s {
+			all = append(all, tagged{shard: i, ev: ev})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].ev.Timestamp != all[b].ev.Timestamp {
+			return all[a].ev.Timestamp < all[b].ev.Timestamp
+		}
+		return all[a].shard < all[b].shard
+	})
+	out := make([]provenance.Event, total)
+	for i := range all {
+		out[i] = all[i].ev
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hiway/internal/provenance"
+	"hiway/internal/wf"
+)
+
+func TestRunExecutesEveryShard(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		var ran [17]atomic.Bool
+		err := Run(len(ran), workers, func(i int) error {
+			if ran[i].Swap(true) {
+				return fmt.Errorf("shard %d ran twice", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Fatalf("workers=%d: shard %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+// The reported error must be the lowest-indexed failure whatever the worker
+// count — error identity is part of the determinism contract.
+func TestRunLowestIndexedErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		err := Run(20, workers, func(i int) error {
+			if i == 3 || i == 11 {
+				return fmt.Errorf("shard-local %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err=%v", workers, err)
+		}
+		if got := err.Error(); got != "shard 3: shard-local 3: boom" {
+			t.Fatalf("workers=%d: err=%q, want the shard-3 failure", workers, got)
+		}
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(4, 4, func(i int) error {
+		if i == 2 {
+			panic("shard exploded")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "shard 2: panic: shard exploded" {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestRunZeroShards(t *testing.T) {
+	if err := Run(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEventsTimestampThenShardOrder(t *testing.T) {
+	ev := func(ts float64, id string) provenance.Event {
+		return provenance.Event{ID: id, Timestamp: ts}
+	}
+	merged := MergeEvents([][]provenance.Event{
+		{ev(1, "a1"), ev(5, "a2"), ev(5, "a3")},
+		{ev(0, "b1"), ev(5, "b2")},
+		{ev(5, "c1"), ev(9, "c2")},
+	})
+	want := []string{"b1", "a1", "a2", "a3", "b2", "c1", "c2"}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(merged), len(want))
+	}
+	for i, id := range want {
+		if merged[i].ID != id {
+			t.Fatalf("position %d: got %s, want %s (full: %v)", i, merged[i].ID, id, merged)
+		}
+	}
+}
+
+func TestPreParseCachesAndKeepsStaticDriver(t *testing.T) {
+	parses := 0
+	base := &wf.StaticBase{
+		WFName: "pp",
+		Build: func() ([]*wf.Task, []string, []wf.Edge, error) {
+			parses++
+			t := wf.NewTask("only", []string{"in"}, []wf.FileInfo{{Path: "out", SizeMB: 1}})
+			return []*wf.Task{t}, []string{"in"}, nil, nil
+		},
+	}
+	d, err := PreParse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parses != 1 {
+		t.Fatalf("PreParse parsed %d times", parses)
+	}
+	ready, err := d.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parses != 1 {
+		t.Fatalf("wrapped Parse re-parsed (%d)", parses)
+	}
+	if len(ready) != 1 || ready[0].Name != "only" {
+		t.Fatalf("ready=%v", ready)
+	}
+	sd, ok := d.(wf.StaticDriver)
+	if !ok {
+		t.Fatal("PreParse dropped the StaticDriver interface")
+	}
+	if sd.Graph() == nil || len(sd.Graph().All()) != 1 {
+		t.Fatal("Graph not forwarded")
+	}
+	if d.Name() != "pp" {
+		t.Fatalf("Name=%q", d.Name())
+	}
+}

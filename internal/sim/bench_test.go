@@ -76,3 +76,24 @@ func BenchmarkEngineTimerChurn(b *testing.B) {
 		e.Run()
 	}
 }
+
+// BenchmarkEngineChurn100k drives the calendar queue at the 100k-task
+// ladder's churn profile: a hundred thousand staggered timers, half of them
+// canceled and replaced by pooled ephemerals, drained in time order. The
+// figure of merit is flat per-event cost — the queue must not regress as the
+// backlog climbs two orders of magnitude past the micro-benchmarks above.
+func BenchmarkEngineChurn100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		evs := make([]*Event, 0, 100000)
+		for j := 0; j < 100000; j++ {
+			evs = append(evs, e.Schedule(float64(j%977)+float64(j)*1e-4, func() {}))
+		}
+		for j := 0; j < len(evs); j += 2 {
+			e.Cancel(evs[j])
+			e.ScheduleEphemeral(float64(j%977)+0.5, func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
 )
 
 // Event is a scheduled callback. It can be canceled before it fires.
@@ -11,23 +12,67 @@ type Event struct {
 	at       float64
 	seq      int64
 	fn       func()
-	canceled bool
-	reusable bool // pooled event: recycled on fire/cancel, handle must not outlive either
-	index    int  // heap index, -1 once popped
+	queued   bool // still in the wheel or far heap, not yet popped
+	canceled bool // lazily deleted: skipped (and pooled events recycled) at pop
+	reusable bool // pooled event: recycled at pop, handle must not outlive fire/cancel
 }
 
 // Time returns the virtual time at which the event fires.
 func (ev *Event) Time() float64 { return ev.at }
 
-// Engine is a discrete-event simulation engine with a virtual clock
-// measured in seconds. The zero value is not usable; call NewEngine.
+// evLess is the engine's total order: time, then scheduling sequence, so
+// simultaneous events fire deterministically in the order scheduled.
+func evLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+const (
+	minBuckets = 64      // initial wheel size; kept tiny so short-lived engines stay cheap
+	maxBuckets = 1 << 16 // resize ceiling
+)
+
+// Engine is a discrete-event simulation engine with a virtual clock measured
+// in seconds. The zero value is not usable; call NewEngine.
+//
+// The pending-event set is a calendar queue: a wheel of time buckets of
+// adaptive width covering a window starting at wheelT0, plus a min-heap
+// overflow ("far") for events beyond the window horizon. Enqueue hashes the
+// timestamp to a bucket in O(1) (plus a short sorted insertion within the
+// bucket); dequeue pops from the current bucket, skipping empty buckets via
+// an occupancy bitmap. Cancel is lazy — the event is only flagged, and
+// physically removed when its bucket is popped — so cancel-heavy churn
+// (attempt deadline timers) costs O(1) instead of heap.Remove's O(log n).
+// When the wheel drains, the window jumps straight to the far heap's
+// earliest event: quiescent stretches of virtual time are skipped without
+// touching the buckets in between (coarse time-skip).
+//
+// Each bucket is kept sorted descending by (at, seq) so the next event pops
+// from the slice tail; bucket misplacement from float rounding is harmless
+// because the bucket-index function is monotone in the timestamp and ties
+// are resolved by the in-bucket sort.
 type Engine struct {
-	now      float64
-	seq      int64
-	queue    eventHeap
-	events   int64    // total events executed, for diagnostics
-	maxDepth int      // high-water mark of the event queue, for observability
-	free     []*Event // pool of recycled reusable events
+	now    float64
+	seq    int64
+	events int64 // total events executed, for diagnostics
+
+	live     int // scheduled and not yet fired or canceled (exact Pending count)
+	queued   int // physical entries in wheel+far, including lazily canceled ones
+	maxDepth int // high-water mark of live, for observability
+
+	width    float64    // bucket width in virtual seconds
+	wheelT0  float64    // absolute time of bucket 0's left edge
+	wheelPos int        // current bucket index; events never land before it
+	buckets  [][]*Event // wheel; each bucket sorted descending by (at, seq) once reached
+	occ      []uint64   // occupancy bitmap over buckets
+	dirty    []uint64   // buckets with unsorted appends, sorted lazily at first pop
+	far      []*Event   // min-heap by (at, seq): events beyond the window horizon
+
+	gapEMA  float64  // smoothed gap between consecutive event times; sizes buckets
+	free    []*Event // pool of recycled reusable events
+	scratch []*Event // reusable buffer for window advances and rebuilds
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -42,8 +87,8 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Processed() int64 { return e.events }
 
 // MaxQueueDepth returns the high-water mark of the event queue — the most
-// events that were ever pending at once. The observability layer exports it
-// as a gauge; it bounds the kernel's O(log n) heap cost for the run.
+// live events that were ever pending at once. The observability layer
+// exports it as a gauge.
 func (e *Engine) MaxQueueDepth() int { return e.maxDepth }
 
 // Schedule enqueues fn to run delay seconds from now. A negative delay is
@@ -61,25 +106,33 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
-	if t < e.now {
+	if t < e.now || math.IsNaN(t) {
 		t = e.now
 	}
 	e.seq++
 	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	if n := len(e.queue); n > e.maxDepth {
-		e.maxDepth = n
-	}
+	e.insert(ev)
 	return ev
 }
 
-// atReusable enqueues fn at absolute time t on a pooled Event that is
-// recycled the moment it fires or is canceled. The public contract that
-// cancel-after-fire is a safe no-op does NOT hold for pooled events, so this
-// stays package-internal: callers (SharedResource wake timers) must drop the
-// handle at fire/cancel time and never touch it again.
+// ScheduleEphemeral schedules fn on a pooled event that the engine recycles
+// the moment it is popped (fired or lazily canceled). The public contract
+// that cancel-after-fire is a safe no-op does NOT hold here: the caller must
+// drop the handle when the callback runs or immediately after Cancel, and
+// never touch it again. Hot cancel-heavy call sites (per-attempt deadline
+// timers) use this to avoid allocating an Event per schedule.
+func (e *Engine) ScheduleEphemeral(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.atReusable(e.now+delay, fn)
+}
+
+// atReusable enqueues fn at absolute time t on a pooled Event, recycled at
+// pop. Same handle contract as ScheduleEphemeral; package-internal callers
+// (SharedResource wake timers) drop the handle at fire/cancel time.
 func (e *Engine) atReusable(t float64, fn func()) *Event {
-	if t < e.now {
+	if t < e.now || math.IsNaN(t) {
 		t = e.now
 	}
 	e.seq++
@@ -91,55 +144,56 @@ func (e *Engine) atReusable(t float64, fn func()) *Event {
 	} else {
 		ev = &Event{}
 	}
-	ev.at, ev.seq, ev.fn, ev.reusable = t, e.seq, fn, true
-	heap.Push(&e.queue, ev)
-	if n := len(e.queue); n > e.maxDepth {
-		e.maxDepth = n
-	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	ev.reusable, ev.canceled = true, false
+	e.insert(ev)
 	return ev
 }
 
 // recycle resets a reusable event and returns it to the pool.
 func (e *Engine) recycle(ev *Event) {
-	*ev = Event{index: -1}
+	*ev = Event{}
 	e.free = append(e.free, ev)
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
-// already fired or was already canceled is a no-op.
+// already fired or was already canceled is a no-op. The event is flagged and
+// skipped at pop time (lazy deletion); its callback is released immediately.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+	if ev == nil || ev.canceled || !ev.queued {
 		return
 	}
 	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		if ev.reusable {
-			e.recycle(ev)
-		}
-	}
+	ev.fn = nil
+	e.live--
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: event time %g before now %g", ev.at, e.now))
-		}
-		e.now = ev.at
-		e.events++
-		ev.fn()
-		if ev.reusable {
-			e.recycle(ev)
-		}
-		return true
+	ev := e.popLive()
+	if ev == nil {
+		return false
 	}
-	return false
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: event time %g before now %g", ev.at, e.now))
+	}
+	if d := ev.at - e.now; d > 0 {
+		if e.gapEMA > 0 {
+			e.gapEMA += (d - e.gapEMA) * 0.125
+		} else {
+			e.gapEMA = d
+		}
+	}
+	e.now = ev.at
+	e.events++
+	e.live--
+	fn := ev.fn
+	fn()
+	if ev.reusable {
+		e.recycle(ev)
+	}
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -150,13 +204,9 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with time <= t, then advances the clock to t.
 func (e *Engine) RunUntil(t float64) {
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > t {
+	for {
+		next := e.peekLive()
+		if next == nil || next.at > t {
 			break
 		}
 		e.Step()
@@ -166,41 +216,368 @@ func (e *Engine) RunUntil(t float64) {
 	}
 }
 
-// Pending returns the number of events still queued (including canceled
-// events not yet removed lazily; Cancel removes eagerly, so this is exact).
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of events still scheduled to fire. Lazily
+// canceled events are excluded: the count tracks live events exactly.
+func (e *Engine) Pending() int { return e.live }
 
-// eventHeap orders events by time, breaking ties by scheduling sequence so
-// simultaneous events fire deterministically in the order scheduled.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// insert places ev into the wheel or the far heap.
+func (e *Engine) insert(ev *Event) {
+	if e.buckets == nil {
+		e.initWheel(minBuckets)
+		e.width = 1
+		e.wheelT0 = e.now
 	}
-	return h[i].seq < h[j].seq
+	if e.queued >= len(e.buckets)*2 && len(e.buckets) < maxBuckets {
+		// Jump straight to the size the current population wants (growing at
+		// least 4x) so a filling queue pays O(log log n) rebuilds, not one
+		// per doubling.
+		n := len(e.buckets) * 4
+		for n < e.queued {
+			n *= 2
+		}
+		if n > maxBuckets {
+			n = maxBuckets
+		}
+		e.rebuild(n)
+	}
+	ev.queued = true
+	e.queued++
+	e.live++
+	if e.live > e.maxDepth {
+		e.maxDepth = e.live
+	}
+	if ev.at >= e.wheelT0+e.width*float64(len(e.buckets)) {
+		e.farPush(ev)
+		return
+	}
+	e.bucketInsert(e.bucketIdx(ev.at), ev)
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// bucketIdx maps a timestamp to its wheel bucket. Monotone in t, so float
+// rounding at bucket edges can never invert pop order; out-of-range and NaN
+// inputs clamp into the current window.
+func (e *Engine) bucketIdx(t float64) int {
+	n := len(e.buckets)
+	q := (t - e.wheelT0) / e.width
+	if !(q >= 0) { // negative or NaN
+		return e.wheelPos
+	}
+	if q >= float64(n) {
+		return n - 1
+	}
+	idx := int(q)
+	if idx < e.wheelPos {
+		idx = e.wheelPos
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// bucketInsert places ev into bucket idx. Future buckets take a plain
+// append and are sorted lazily when the wheel reaches them; only the
+// current, already-sorted bucket pays a binary insertion (the zero-delay
+// fast path), so bulk enqueues avoid per-insert memmoves entirely.
+func (e *Engine) bucketInsert(idx int, ev *Event) {
+	word, bit := idx>>6, uint64(1)<<(idx&63)
+	b := e.buckets[idx]
+	if idx == e.wheelPos && e.dirty[word]&bit == 0 {
+		i := sort.Search(len(b), func(k int) bool { return evLess(b[k], ev) })
+		b = append(b, nil)
+		copy(b[i+1:], b[i:])
+		b[i] = ev
+	} else {
+		// An append that lands at the descending tail keeps the bucket
+		// sorted; only order-breaking appends mark it dirty.
+		if len(b) > 0 && e.dirty[word]&bit == 0 && !evLess(ev, b[len(b)-1]) {
+			e.dirty[word] |= bit
+		}
+		b = append(b, ev)
+	}
+	e.buckets[idx] = b
+	e.occ[word] |= bit
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
+// bucketAppend bulk-loads ev into bucket idx unsorted, deferring order to
+// the lazy sort. Used by window refills, where binary insertion would
+// degrade to a memmove per event.
+func (e *Engine) bucketAppend(idx int, ev *Event) {
+	word, bit := idx>>6, uint64(1)<<(idx&63)
+	e.buckets[idx] = append(e.buckets[idx], ev)
+	e.dirty[word] |= bit
+	e.occ[word] |= bit
+}
+
+// sortBucket establishes bucket idx's descending (at, seq) order if it has
+// unsorted appends. Called when the wheel reaches the bucket, so each event
+// is sorted at most once per window pass.
+func (e *Engine) sortBucket(idx int) {
+	word, bit := idx>>6, uint64(1)<<(idx&63)
+	if e.dirty[word]&bit == 0 {
+		return
+	}
+	e.dirty[word] &^= bit
+	b := e.buckets[idx]
+	if len(b) <= 24 { // insertion sort: small buckets dodge sort.Slice overhead
+		for i := 1; i < len(b); i++ {
+			ev := b[i]
+			j := i - 1
+			for j >= 0 && evLess(b[j], ev) {
+				b[j+1] = b[j]
+				j--
+			}
+			b[j+1] = ev
+		}
+		return
+	}
+	sort.Slice(b, func(i, j int) bool { return evLess(b[j], b[i]) })
+}
+
+// nextBucket returns the first non-empty bucket at or after wheelPos, or -1
+// if the wheel is empty, by scanning the occupancy bitmap word-at-a-time.
+func (e *Engine) nextBucket() int {
+	w := e.wheelPos >> 6
+	mask := ^uint64(0) << (e.wheelPos & 63)
+	for ; w < len(e.occ); w++ {
+		if v := e.occ[w] & mask; v != 0 {
+			return w<<6 + bits.TrailingZeros64(v)
+		}
+		mask = ^uint64(0)
+	}
+	return -1
+}
+
+// takeTail removes and returns the tail event of bucket idx, clearing the
+// occupancy bit when the bucket drains.
+func (e *Engine) takeTail(idx int) *Event {
+	b := e.buckets[idx]
+	n := len(b) - 1
+	ev := b[n]
+	b[n] = nil
+	e.buckets[idx] = b[:n]
+	if n == 0 {
+		e.occ[idx>>6] &^= 1 << (idx & 63)
+	}
+	e.queued--
+	ev.queued = false
+	return ev
+}
+
+// popLive removes and returns the next live event, discarding (and, for
+// pooled events, recycling) lazily canceled entries along the way. Returns
+// nil when nothing is pending.
+func (e *Engine) popLive() *Event {
+	for {
+		if e.queued == 0 {
+			return nil
+		}
+		idx := e.nextBucket()
+		if idx < 0 {
+			e.advanceWindow()
+			continue
+		}
+		e.wheelPos = idx
+		e.sortBucket(idx)
+		ev := e.takeTail(idx)
+		if ev.canceled {
+			if ev.reusable {
+				e.recycle(ev)
+			}
+			continue
+		}
+		return ev
+	}
+}
+
+// peekLive returns the next live event without removing it, purging lazily
+// canceled entries it encounters. Returns nil when nothing is pending.
+func (e *Engine) peekLive() *Event {
+	for {
+		if e.queued == 0 {
+			return nil
+		}
+		idx := e.nextBucket()
+		if idx < 0 {
+			e.advanceWindow()
+			continue
+		}
+		e.wheelPos = idx
+		e.sortBucket(idx)
+		b := e.buckets[idx]
+		ev := b[len(b)-1]
+		if !ev.canceled {
+			return ev
+		}
+		e.takeTail(idx)
+		if ev.reusable {
+			e.recycle(ev)
+		}
+	}
+}
+
+// advanceWindow is called when the wheel is empty but events remain in the
+// far heap: the window jumps directly to the earliest far event (skipping
+// the quiescent interval) and far events inside the new window move into
+// buckets. Also the shrink point for the wheel when occupancy has collapsed.
+func (e *Engine) advanceWindow() {
+	if e.queued < len(e.buckets)/8 && len(e.buckets) > minBuckets {
+		e.rebuild(len(e.buckets) / 2)
+		return
+	}
+	e.wheelT0 = e.far[0].at
+	e.wheelPos = 0
+	if e.gapEMA > 0 {
+		e.width = e.gapEMA * 8
+	}
+	horizon := e.wheelT0 + e.width*float64(len(e.buckets))
+	s := e.scratch[:0]
+	s = append(s, e.farPop()) // always move at least one (guards at == horizon == +Inf)
+	for len(e.far) > 0 && e.far[0].at < horizon {
+		s = append(s, e.farPop())
+	}
+	// s is ascending; walking it backwards appends each bucket's events in
+	// descending order, so the lazy sort sees an already-ordered run.
+	for i := len(s) - 1; i >= 0; i-- {
+		e.bucketAppend(e.bucketIdx(s[i].at), s[i])
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	e.scratch = s[:0]
+}
+
+// initWheel (re)allocates the wheel at n buckets, reusing prior capacity.
+func (e *Engine) initWheel(n int) {
+	if cap(e.buckets) >= n {
+		e.buckets = e.buckets[:n]
+	} else {
+		old := e.buckets
+		e.buckets = make([][]*Event, n)
+		copy(e.buckets, old) // keep inner slice capacity
+	}
+	words := (n + 63) / 64
+	if cap(e.occ) >= words {
+		e.occ = e.occ[:words]
+		e.dirty = e.dirty[:words]
+		for i := range e.occ {
+			e.occ[i] = 0
+			e.dirty[i] = 0
+		}
+	} else {
+		e.occ = make([]uint64, words)
+		e.dirty = make([]uint64, words)
+	}
+	e.wheelPos = 0
+}
+
+// rebuild resizes the wheel to n buckets and redistributes every pending
+// event, dropping lazily canceled entries for good. Triggered geometrically
+// (double on overflow, halve on collapse), so its O(n log n) cost amortizes
+// to O(1) per operation.
+func (e *Engine) rebuild(n int) {
+	s := e.scratch[:0]
+	keep := func(ev *Event) bool {
+		if !ev.canceled {
+			return true
+		}
+		e.queued--
+		ev.queued = false
+		if ev.reusable {
+			e.recycle(ev)
+		}
+		return false
+	}
+	for i := range e.buckets {
+		for j, ev := range e.buckets[i] {
+			if keep(ev) {
+				s = append(s, ev)
+			}
+			e.buckets[i][j] = nil
+		}
+		e.buckets[i] = e.buckets[i][:0]
+	}
+	for i, ev := range e.far {
+		if keep(ev) {
+			s = append(s, ev)
+		}
+		e.far[i] = nil
+	}
+	e.far = e.far[:0]
+	sort.Slice(s, func(a, b int) bool { return evLess(s[a], s[b]) })
+
+	e.initWheel(n)
+	if len(s) == 0 {
+		e.width = 1
+		e.wheelT0 = e.now
+		e.scratch = s
+		return
+	}
+	minAt, maxAt := s[0].at, s[len(s)-1].at
+	w := e.gapEMA * 8
+	if w <= 0 {
+		if span := maxAt - minAt; span > 0 && !math.IsInf(span, 1) {
+			w = span * 2 / float64(n)
+		} else {
+			w = 1
+		}
+	}
+	e.width = w
+	e.wheelT0 = minAt
+	horizon := minAt + w*float64(n)
+	cut := sort.Search(len(s), func(k int) bool { return !(s[k].at < horizon) })
+	if cut == 0 {
+		cut = 1 // at least one event stays in the wheel (guards +Inf timestamps)
+	}
+	for i := cut - 1; i >= 0; i-- {
+		e.bucketAppend(e.bucketIdx(s[i].at), s[i])
+	}
+	// The ascending suffix is already a valid min-heap.
+	e.far = append(e.far, s[cut:]...)
+	for i := range s {
+		s[i] = nil
+	}
+	e.scratch = s[:0]
+}
+
+// farPush adds ev to the beyond-horizon min-heap.
+func (e *Engine) farPush(ev *Event) {
+	e.far = append(e.far, ev)
+	i := len(e.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(e.far[i], e.far[p]) {
+			break
+		}
+		e.far[i], e.far[p] = e.far[p], e.far[i]
+		i = p
+	}
+}
+
+// farPop removes and returns the earliest event in the far heap.
+func (e *Engine) farPop() *Event {
+	h := e.far
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.far = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && evLess(h[r], h[l]) {
+			m = r
+		}
+		if !evLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 	return ev
 }

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The calendar queue must preserve schedule order among events with exactly
+// equal timestamps even when the clusters span many wheel windows (each
+// cluster forces a window advance through the far heap).
+func TestEngineCalendarSameTimestampAcrossWindows(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	id := 0
+	for c := 0; c < 60; c++ {
+		at := float64(c) * 1013.7
+		for k := 0; k < 25; k++ {
+			i := id
+			id++
+			e.At(at, func() { got = append(got, i) })
+		}
+	}
+	e.Run()
+	if len(got) != id {
+		t.Fatalf("fired %d of %d events", len(got), id)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("position %d fired event %d (want FIFO within equal timestamps)", i, got[i])
+		}
+	}
+}
+
+// An event scheduled from a callback for the current instant must run after
+// the events already queued at that instant: ordering is (timestamp,
+// schedule sequence), and the new arrival has the larger sequence.
+func TestEngineCalendarSameInstantFromCallback(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(5, func() {
+		got = append(got, "first")
+		e.At(5, func() { got = append(got, "nested") })
+	})
+	e.At(5, func() { got = append(got, "second") })
+	e.Run()
+	want := []string{"first", "second", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Cancels must stick whether the event is still in the far overflow heap or
+// has already been coalesced into the wheel by a window advance.
+func TestEngineCancelAfterCoalesce(t *testing.T) {
+	e := NewEngine()
+	// Dense near events establish a small bucket width, guaranteeing the
+	// far cluster starts outside the wheel's window.
+	for i := 0; i < 200; i++ {
+		e.At(float64(i)*0.25, func() {})
+	}
+	fired := make(map[int]bool)
+	evs := make([]*Event, 400)
+	for i := range evs {
+		i := i
+		evs[i] = e.At(1e6+float64(i/4), func() { fired[i] = true })
+	}
+	// Cancel a quarter while they are still far-heap residents.
+	for i := 0; i < len(evs); i += 4 {
+		e.Cancel(evs[i])
+	}
+	// Drain the near events; peeking past them advances the window into
+	// the far cluster.
+	e.RunUntil(1e5)
+	if e.Now() > 1e6 {
+		t.Fatalf("RunUntil overshot: now=%v", e.Now())
+	}
+	// Cancel another quarter after the coalesce.
+	for i := 1; i < len(evs); i += 4 {
+		e.Cancel(evs[i])
+	}
+	e.Run()
+	for i := range evs {
+		want := i%4 >= 2
+		if fired[i] != want {
+			t.Fatalf("event %d: fired=%v, want %v", i, fired[i], want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending()=%d after Run", e.Pending())
+	}
+}
+
+// Bucket rollover, window advance, rebuild growth and shrink must never
+// reorder events: a randomized schedule with mixed time scales, duplicate
+// timestamps, cancels, and mid-run arrivals has to fire in exactly the
+// stable (timestamp, schedule order) sequence of the surviving events.
+func TestEngineCalendarModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		e := NewEngine()
+		type rec struct {
+			at  float64
+			id  int
+			cut bool
+		}
+		var model []rec
+		var got []int
+		var evs []*Event
+		scales := []float64{0.01, 1, 250, 40000}
+		lastAt := 0.0
+		n := 600
+		for i := 0; i < n; i++ {
+			at := rng.ExpFloat64() * scales[rng.Intn(len(scales))]
+			if i > 0 && rng.Intn(4) == 0 {
+				at = lastAt // exact duplicate timestamp
+			}
+			lastAt = at
+			id := i
+			model = append(model, rec{at: at, id: id})
+			evs = append(evs, e.At(at, func() { got = append(got, id) }))
+		}
+		// A mid-run arrival wave: scheduled relative to a random instant,
+		// exercising insertion into a partially drained wheel.
+		waveAt := rng.Float64() * 1000
+		e.At(waveAt, func() {
+			for k := 0; k < 100; k++ {
+				at := waveAt + rng.ExpFloat64()*scales[rng.Intn(len(scales))]
+				id := n + k
+				model = append(model, rec{at: at, id: id})
+				e.At(at, func() { got = append(got, id) })
+			}
+		})
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				model[i].cut = true
+				e.Cancel(evs[i])
+			}
+		}
+		e.Run()
+
+		var want []int
+		live := make([]rec, 0, len(model))
+		for _, r := range model {
+			if !r.cut {
+				live = append(live, r)
+			}
+		}
+		sort.SliceStable(live, func(a, b int) bool { return live[a].at < live[b].at })
+		for _, r := range live {
+			want = append(want, r.id)
+		}
+		// The wave sentinel fires too but records nothing; got must equal
+		// want exactly.
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d fired %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: Pending()=%d after Run", trial, e.Pending())
+		}
+	}
+}
+
+// A heavy burst followed by a sparse tail walks the wheel through growth
+// rebuilds and back down the shrink path without losing ordering.
+func TestEngineCalendarGrowShrink(t *testing.T) {
+	e := NewEngine()
+	var burst int
+	for i := 0; i < 20000; i++ {
+		e.At(math.Mod(float64(i)*0.137, 100), func() { burst++ })
+	}
+	var tail []float64
+	for i := 0; i < 12; i++ {
+		at := 1000 * math.Pow(4, float64(i))
+		e.At(at, func() { tail = append(tail, at) })
+	}
+	e.Run()
+	if burst != 20000 {
+		t.Fatalf("burst fired %d of 20000", burst)
+	}
+	if len(tail) != 12 {
+		t.Fatalf("tail fired %d of 12", len(tail))
+	}
+	if !sort.Float64sAreSorted(tail) {
+		t.Fatalf("tail fired out of order: %v", tail)
+	}
+}
+
+// Canceled ephemeral events are recycled lazily at pop; the recycled record
+// must not resurrect the old callback when reused.
+func TestEngineEphemeralCancelAndReuse(t *testing.T) {
+	e := NewEngine()
+	fired := make(map[string]int)
+	for round := 0; round < 50; round++ {
+		ev := e.ScheduleEphemeral(1, func() { fired["canceled"]++ })
+		e.Cancel(ev)
+		e.ScheduleEphemeral(2, func() { fired["kept"]++ })
+		e.RunUntil(e.Now() + 10)
+	}
+	if fired["canceled"] != 0 {
+		t.Fatalf("canceled ephemeral fired %d times", fired["canceled"])
+	}
+	if fired["kept"] != 50 {
+		t.Fatalf("kept ephemeral fired %d of 50", fired["kept"])
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending()=%d", e.Pending())
+	}
+}

@@ -21,6 +21,12 @@ var idCounter atomic.Int64
 // NextID returns a process-unique task ID.
 func NextID() int64 { return idCounter.Add(1) }
 
+// ReserveIDs claims a contiguous block of n process-unique task IDs and
+// returns the first. Generators that will build tasks on a worker goroutine
+// (sharded simulation) reserve their block up front on the serial path, so
+// the IDs each shard assigns do not depend on goroutine interleaving.
+func ReserveIDs(n int64) int64 { return idCounter.Add(n) - n + 1 }
+
 // FileInfo names a produced or consumed file and its size.
 type FileInfo struct {
 	Path   string

@@ -121,6 +121,8 @@ type nodeManager struct {
 	spot       bool // spot instance: cheaper node-seconds, reclaimable by chaos
 	draining   bool // graceful decommission in progress: no new allocations
 	running    map[int64]*Container
+	bucket     int // free-cores index bucket, -1 while unallocatable
+	bucketPos  int // position within that bucket, for O(1) swap-removal
 
 	// cost accounting: piecewise integral of allocated (busy) cores.
 	joinedAt    float64
@@ -133,11 +135,12 @@ type nodeManager struct {
 }
 
 type pendingReq struct {
-	app  *Application
-	req  Request
-	onOK func(*Container)
-	seq  int64
-	at   float64 // request arrival time, for allocation-latency metrics
+	app   *Application
+	req   Request
+	onOK  func(*Container)
+	seq   int64
+	at    float64 // request arrival time, for allocation-latency metrics
+	taken bool    // satisfied this allocation round (transient)
 }
 
 // AuditHook observes the RM's container lifecycle at the exact points
@@ -192,6 +195,13 @@ type ResourceManager struct {
 	pending []*pendingReq
 	apps    map[int]*Application
 
+	// freeIdx buckets allocatable (alive, non-draining) nodes by free core
+	// count, so pickNode finds the most-free node in O(1) instead of
+	// scanning every node per container. Within a bucket nodes sit in
+	// insertion order, maintained by O(1) swap-removal — deterministic for
+	// a given event history, which is all byte-identical replay needs.
+	freeIdx [][]*nodeManager
+
 	// tenantUse counts live worker containers per tenant (AM containers
 	// are exempt) — the quantity quota caps bound.
 	tenantUse map[string]int
@@ -219,6 +229,12 @@ type ResourceManager struct {
 	// layer can prove its capacity-conservation auditor detects broken
 	// release accounting; production code never sets it.
 	releaseSkew int
+
+	// allocation-round scratch and the pendingReq free list; request
+	// records recycle once their allocation callback has run.
+	satScratch []*pendingReq
+	ctrScratch []*Container
+	reqFree    []*pendingReq
 
 	// statistics
 	Allocated int64 // total containers ever allocated (incl. AMs)
@@ -279,7 +295,7 @@ func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, cfg Config) *Resour
 	}
 	now := eng.Now()
 	for _, n := range c.Nodes() {
-		rm.nms[n.ID] = &nodeManager{
+		nm := &nodeManager{
 			id:         n.ID,
 			totalCores: n.Spec.VCores,
 			totalMem:   n.Spec.MemMB,
@@ -288,8 +304,11 @@ func NewResourceManager(eng *sim.Engine, c *cluster.Cluster, cfg Config) *Resour
 			running:    make(map[int64]*Container),
 			joinedAt:   now,
 			busyMark:   now,
+			bucket:     -1,
 		}
+		rm.nms[n.ID] = nm
 		rm.order = append(rm.order, n.ID)
+		rm.idxSync(nm)
 	}
 	sort.Strings(rm.order)
 	return rm
@@ -383,8 +402,10 @@ func (rm *ResourceManager) AddNode(nodeID string, vcores, memMB int, spot bool) 
 		running:    make(map[int64]*Container),
 		joinedAt:   now,
 		busyMark:   now,
+		bucket:     -1,
 	}
 	rm.nms[nodeID] = nm
+	rm.idxSync(nm)
 	i := sort.SearchStrings(rm.order, nodeID)
 	rm.order = append(rm.order, "")
 	copy(rm.order[i+1:], rm.order[i:])
@@ -421,6 +442,7 @@ func (rm *ResourceManager) DrainNode(nodeID string, deadlineSec float64, onDone 
 		return fmt.Errorf("yarn: node %s already draining", nodeID)
 	}
 	nm.draining = true
+	rm.idxSync(nm)
 	nm.drainDone = onDone
 	nm.drainGen++
 	gen := nm.drainGen
@@ -471,6 +493,7 @@ func (rm *ResourceManager) preemptRunning(nm *nodeManager) {
 	nm.running = make(map[int64]*Container)
 	nm.freeCores = nm.totalCores
 	nm.freeMem = nm.totalMem
+	rm.idxSync(nm)
 	for _, c := range lost {
 		c.released = true
 		rm.chargeTenant(c, nm.spot)
@@ -509,6 +532,7 @@ func (rm *ResourceManager) RemoveNode(nodeID string) error {
 		rm.finalizeNodeCost(nm)
 		nm.drainDone = nil // a pending drain callback is superseded by removal
 	}
+	rm.idxRemove(nm)
 	delete(rm.nms, nodeID)
 	rm.dropFromOrder(nodeID)
 	delete(rm.nodeAllocCs, nodeID)
@@ -616,7 +640,9 @@ func (a *Application) Request(req Request, onAllocated func(*Container)) {
 	}
 	a.rm.nextSeq++
 	a.rm.requestsC.Inc()
-	a.rm.pending = append(a.rm.pending, &pendingReq{app: a, req: req, onOK: onAllocated, seq: a.rm.nextSeq, at: a.rm.eng.Now()})
+	p := a.rm.newPendingReq()
+	*p = pendingReq{app: a, req: req, onOK: onAllocated, seq: a.rm.nextSeq, at: a.rm.eng.Now()}
+	a.rm.pending = append(a.rm.pending, p)
 	a.rm.kick()
 }
 
@@ -655,6 +681,7 @@ func (a *Application) Release(c *Container) {
 			a.rm.chargeTenant(c, nm.spot)
 			nm.freeCores += c.Resource.VCores + a.rm.releaseSkew
 			nm.freeMem += c.Resource.MemMB
+			a.rm.idxSync(nm)
 		}
 	}
 	// The audit hook fires after accounting so a capacity cross-check at
@@ -706,9 +733,8 @@ func (rm *ResourceManager) allocate() {
 	if rm.cfg.Fair {
 		order = fairOrder(rm.pending, rm.cfg.Tenants)
 	}
-	var satisfied []*pendingReq
-	var containers []*Container
-	taken := make(map[*pendingReq]bool)
+	satisfied := rm.satScratch[:0]
+	containers := rm.ctrScratch[:0]
 	for _, p := range order {
 		if rm.tenantAtCap(p.app.Tenant) {
 			continue
@@ -721,15 +747,18 @@ func (rm *ResourceManager) allocate() {
 		lat := rm.eng.Now() - p.at
 		rm.allocLatH.Observe(lat)
 		rm.allocLatEWMA = 0.8*rm.allocLatEWMA + 0.2*lat
-		taken[p] = true
+		p.taken = true
 		satisfied = append(satisfied, p)
 		containers = append(containers, c)
 	}
 	kept := rm.pending[:0]
 	for _, p := range rm.pending {
-		if !taken[p] {
+		if !p.taken {
 			kept = append(kept, p)
 		}
+	}
+	for i := len(kept); i < len(rm.pending); i++ {
+		rm.pending[i] = nil
 	}
 	rm.pending = kept
 	// Callbacks after queue surgery so they can request more containers.
@@ -737,7 +766,14 @@ func (rm *ResourceManager) allocate() {
 		if p.onOK != nil {
 			p.onOK(containers[i])
 		}
+		// The request record is unreferenced once its callback ran; recycle.
+		*p = pendingReq{}
+		rm.reqFree = append(rm.reqFree, p)
+		satisfied[i] = nil
+		containers[i] = nil
 	}
+	rm.satScratch = satisfied[:0]
+	rm.ctrScratch = containers[:0]
 }
 
 // fairOrder orders pending requests for one allocation round. Within a
@@ -847,9 +883,78 @@ func (rm *ResourceManager) TenantContainers(tenant string) int {
 	return rm.tenantUse[tenant]
 }
 
+// newPendingReq takes a request record from the free list, or allocates.
+func (rm *ResourceManager) newPendingReq() *pendingReq {
+	if n := len(rm.reqFree); n > 0 {
+		p := rm.reqFree[n-1]
+		rm.reqFree[n-1] = nil
+		rm.reqFree = rm.reqFree[:n-1]
+		return p
+	}
+	return &pendingReq{}
+}
+
+// idxBucket maps a free-core count into the index range.
+func (rm *ResourceManager) idxBucket(freeCores int) int {
+	if freeCores < 0 {
+		return 0
+	}
+	if n := len(rm.freeIdx); freeCores >= n {
+		return n - 1
+	}
+	return freeCores
+}
+
+// idxSync reconciles a node's position in the free-cores index with its
+// current state. Call after any change to freeCores, dead, or draining.
+func (rm *ResourceManager) idxSync(nm *nodeManager) {
+	want := -1
+	if !nm.dead && !nm.draining {
+		if nm.totalCores >= len(rm.freeIdx) {
+			rm.growIdx(nm.totalCores)
+		}
+		want = rm.idxBucket(nm.freeCores)
+	}
+	if nm.bucket == want {
+		return
+	}
+	rm.idxRemove(nm)
+	nm.bucket = want
+	if want >= 0 {
+		nm.bucketPos = len(rm.freeIdx[want])
+		rm.freeIdx[want] = append(rm.freeIdx[want], nm)
+	}
+}
+
+// idxRemove unlinks a node from the free-cores index (no-op if absent).
+func (rm *ResourceManager) idxRemove(nm *nodeManager) {
+	if nm.bucket < 0 {
+		return
+	}
+	b := rm.freeIdx[nm.bucket]
+	last := len(b) - 1
+	moved := b[last]
+	b[nm.bucketPos] = moved
+	moved.bucketPos = nm.bucketPos
+	b[last] = nil
+	rm.freeIdx[nm.bucket] = b[:last]
+	nm.bucket = -1
+}
+
+// growIdx widens the index to cover nodes with more cores than any seen so
+// far; existing buckets keep their contents.
+func (rm *ResourceManager) growIdx(maxCores int) {
+	for len(rm.freeIdx) <= maxCores {
+		rm.freeIdx = append(rm.freeIdx, nil)
+	}
+}
+
 // pickNode chooses a node for the resource. With strict placement only the
 // hinted node qualifies. Otherwise the hint is preferred if it fits, then
-// the node with the most free cores (ties: more free memory, then ID).
+// the node with the most free cores (ties: more free memory, then ID). The
+// bucketed index narrows the search to the highest non-empty free-cores
+// bucket; scanning that one bucket for the (freeMem, ID) winner keeps the
+// choice identical to the old full scan over every node.
 func (rm *ResourceManager) pickNode(res Resource, hint string, strict bool) *nodeManager {
 	if strict {
 		nm := rm.nms[hint]
@@ -863,24 +968,29 @@ func (rm *ResourceManager) pickNode(res Resource, hint string, strict bool) *nod
 			return nm
 		}
 	}
-	var best *nodeManager
-	for _, id := range rm.order {
-		nm := rm.nms[id]
-		if nm.dead || nm.draining || !res.Fits(nm.freeCores, nm.freeMem) {
-			continue
+	for k := len(rm.freeIdx) - 1; k >= res.VCores; k-- {
+		var best *nodeManager
+		for _, nm := range rm.freeIdx[k] {
+			if !res.Fits(nm.freeCores, nm.freeMem) {
+				continue
+			}
+			if best == nil || nm.freeMem > best.freeMem ||
+				(nm.freeMem == best.freeMem && nm.id < best.id) {
+				best = nm
+			}
 		}
-		if best == nil || nm.freeCores > best.freeCores ||
-			(nm.freeCores == best.freeCores && nm.freeMem > best.freeMem) {
-			best = nm
+		if best != nil {
+			return best
 		}
 	}
-	return best
+	return nil
 }
 
 func (rm *ResourceManager) allocateOn(nm *nodeManager, app *Application, res Resource, am bool) *Container {
 	rm.accrueBusy(nm)
 	nm.freeCores -= res.VCores
 	nm.freeMem -= res.MemMB
+	rm.idxSync(nm)
 	rm.nextContainer++
 	rm.Allocated++
 	c := &Container{ID: rm.nextContainer, NodeID: nm.id, Resource: res, AppID: app.ID, Tenant: app.Tenant, AM: am, allocAt: rm.eng.Now()}
@@ -915,6 +1025,7 @@ func (rm *ResourceManager) KillNode(nodeID string) {
 	nm.dead = true
 	nm.freeCores = 0
 	nm.freeMem = 0
+	rm.idxSync(nm)
 	if nm.drainDone != nil {
 		// A crash during graceful decommission ends the drain ungracefully.
 		rm.completeDrain(nm, false)
