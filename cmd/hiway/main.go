@@ -31,14 +31,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"hiway/internal/chaos"
 	"hiway/internal/cluster"
@@ -55,6 +61,7 @@ import (
 	"hiway/internal/provenance"
 	"hiway/internal/recipes"
 	"hiway/internal/scheduler"
+	"hiway/internal/service"
 	"hiway/internal/shard"
 	"hiway/internal/sim"
 	"hiway/internal/verify"
@@ -83,6 +90,8 @@ func main() {
 		err = runLoad(os.Args[2:])
 	case "elastic":
 		err = runElastic(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -141,6 +150,19 @@ func usage() {
       fleet sized by an autoscaling policy (static, reactive, predictive)
       with graceful node drains and optional spot-preemption chaos; -ladder
       sweeps the policy grid and emits the BENCH_elastic.json points
+
+  hiway serve [-addr HOST:PORT] [-nodes N] [-policy P]
+              [-max-concurrent N] [-max-queue N] [-retry-after SEC]
+              [-retry-limit N] [-tenant SPEC ...] [-rate X]
+              [-deterministic] [-seed N] [-duration SEC]
+              [-prov FILE.jsonl] [-metrics FILE.prom] [-multiset FILE]
+              [-drain-timeout SEC]
+      network service front-end: accept workflow submissions over HTTP
+      (POST /v1/workflows), run each admitted workflow concurrently on its
+      own simulated substrate, stream status and events, and drain
+      gracefully on SIGINT/SIGTERM or POST /v1/drain; -deterministic
+      replays the seeded tenant mix on a virtual clock through the same
+      handlers instead of listening (SERVICE.md)
 
 Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), trace (.jsonl)
 Scheduling policies: fcfs, dataaware (default), roundrobin, heft, adaptive
@@ -826,6 +848,172 @@ func runLoad(args []string) error {
 			return err
 		}
 		fmt.Println("metrics:", *metricsPath)
+	}
+	return nil
+}
+
+// parseTenantProfiles decodes repeated -tenant flags of the form
+// name[,weight=N][,containers=N][,inflight=N][,rate=R][,burst=N].
+func parseTenantProfiles(specs []string) ([]service.TenantProfile, error) {
+	out := make([]service.TenantProfile, 0, len(specs))
+	for _, spec := range specs {
+		parts := strings.Split(spec, ",")
+		if parts[0] == "" {
+			return nil, fmt.Errorf("bad -tenant %q: empty name", spec)
+		}
+		p := service.TenantProfile{Name: parts[0]}
+		for _, kv := range parts[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -tenant field %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "weight":
+				p.Weight, err = strconv.Atoi(v)
+			case "containers":
+				p.MaxContainers, err = strconv.Atoi(v)
+			case "inflight":
+				p.MaxInFlight, err = strconv.Atoi(v)
+			case "rate":
+				p.RatePerSec, err = strconv.ParseFloat(v, 64)
+			case "burst":
+				p.Burst, err = strconv.Atoi(v)
+			default:
+				return nil, fmt.Errorf("bad -tenant field %q (want weight, containers, inflight, rate, or burst)", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bad -tenant field %q: %v", kv, err)
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runServe starts the network service front-end (or its deterministic
+// virtual-clock replay) and handles graceful drain on SIGINT/SIGTERM or
+// POST /v1/drain: admission stops, in-flight runs finish, provenance is
+// merged and flushed, then the process exits.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	nodes := fs.Int("nodes", 8, "simulated worker nodes per run")
+	policy := fs.String("policy", scheduler.PolicyFCFS, "default per-workflow scheduling policy")
+	maxConcurrent := fs.Int("max-concurrent", 8, "admission cap: concurrently running AM goroutines")
+	maxQueue := fs.Int("max-queue", 64, "backpressure threshold: queued runs before 429")
+	retryAfter := fs.Float64("retry-after", 5, "Retry-After hint on 429 responses, in seconds")
+	retryLimit := fs.Int("retry-limit", 1, "deterministic mode: client retries after rejection before dropping")
+	var tenants multiFlag
+	fs.Var(&tenants, "tenant", "tenant profile 'name[,weight=N][,containers=N][,inflight=N][,rate=R][,burst=N]' (repeatable; default: built-in mix)")
+	rate := fs.Float64("rate", 1, "rate multiplier over the built-in tenant mix (when no -tenant is given)")
+	det := fs.Bool("deterministic", false, "seeded virtual-clock replay through the same handlers instead of listening")
+	seed := fs.Int64("seed", 1, "deterministic mode: arrival seed")
+	duration := fs.Float64("duration", 600, "deterministic mode: arrival window in virtual seconds")
+	provPath := fs.String("prov", "", "flush the merged provenance trace to this JSONL file at drain")
+	metricsPath := fs.String("metrics", "", "write a Prometheus metrics snapshot to this file at drain")
+	multisetPath := fs.String("multiset", "", "write the completed-task multiset to this file at drain")
+	drainTimeout := fs.Float64("drain-timeout", 120, "seconds to wait for in-flight runs at shutdown before exiting anyway")
+	fs.Parse(args)
+
+	profiles := experiments.ServiceTenantMix(*rate)
+	if len(tenants) > 0 {
+		var err error
+		profiles, err = parseTenantProfiles(tenants)
+		if err != nil {
+			return err
+		}
+	}
+	srv, err := service.NewServer(service.ServerConfig{
+		Nodes:         *nodes,
+		Policy:        *policy,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		RetryAfterSec: *retryAfter,
+		RetryLimit:    *retryLimit,
+		Deterministic: *det,
+	}, profiles)
+	if err != nil {
+		return err
+	}
+
+	drained := true
+	if *det {
+		fmt.Printf("serve: deterministic replay, seed %d, %.0fs window, %d tenants, policy %s\n",
+			*seed, *duration, len(profiles), *policy)
+		if err := srv.RunDeterministic(*seed, *duration); err != nil {
+			return err
+		}
+		srv.StartDrain() // already idle: records the drain for the artifacts below
+	} else {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- hs.Serve(ln) }()
+		fmt.Printf("serve: listening on http://%s (%d tenants, policy %s)\n", ln.Addr(), len(profiles), *policy)
+
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+		select {
+		case err := <-serveErr:
+			return err
+		case s := <-sigCh:
+			fmt.Fprintf(os.Stderr, "serve: %v: draining\n", s)
+			srv.StartDrain()
+		case <-srv.Drained():
+			// drained via POST /v1/drain
+		}
+		select {
+		case <-srv.Drained():
+		case <-time.After(time.Duration(*drainTimeout * float64(time.Second))):
+			drained = false
+			fmt.Fprintln(os.Stderr, "serve: drain timeout; exiting with runs in flight")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = hs.Shutdown(ctx)
+		cancel()
+	}
+	if drained {
+		srv.Wait()
+	}
+
+	st := srv.Stats()
+	fmt.Printf("serve: submitted %d  accepted %d  rejected %d  dropped %d  completed %d  failed %d  peak-running %d\n",
+		st.Submitted, st.Accepted, st.Rejected, st.Dropped, st.Completed, st.Failed, st.PeakRunning)
+	if *provPath != "" {
+		store, err := provenance.OpenFileStore(*provPath)
+		if err != nil {
+			return err
+		}
+		n, err := srv.FlushProvenance(store)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("prov: %s (%d events)\n", *provPath, n)
+	}
+	if *metricsPath != "" {
+		var buf bytes.Buffer
+		if err := srv.Obs().M().WritePrometheus(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("metrics:", *metricsPath)
+	}
+	if *multisetPath != "" {
+		if err := os.WriteFile(*multisetPath, srv.Multiset(), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("multiset:", *multisetPath)
 	}
 	return nil
 }

@@ -10,6 +10,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"hiway/internal/service"
 )
 
 // fencedBlocks returns the fenced code blocks of a markdown file as
@@ -46,7 +48,7 @@ func fencedBlocks(t *testing.T, path string) [][2]string {
 	return blocks
 }
 
-var docFiles = []string{"README.md", "OBSERVABILITY.md", "DESIGN.md", "EXPERIMENTS.md", "TESTING.md"}
+var docFiles = []string{"README.md", "OBSERVABILITY.md", "DESIGN.md", "EXPERIMENTS.md", "TESTING.md", "SERVICE.md"}
 
 // TestMarkdownFencesBalanced guards against a truncated or mis-edited doc:
 // every fenced block in the operator-facing markdown must close.
@@ -89,7 +91,7 @@ func cliFlags(t *testing.T) map[string]map[string]bool {
 	if err != nil {
 		t.Fatal(err)
 	}
-	subFor := map[string]string{"runSim": "sim", "runLocal": "local", "runProv": "prov", "runInspect": "inspect", "runVerify": "verify", "runLoad": "load", "runElastic": "elastic"}
+	subFor := map[string]string{"runSim": "sim", "runLocal": "local", "runProv": "prov", "runInspect": "inspect", "runVerify": "verify", "runLoad": "load", "runElastic": "elastic", "runServe": "serve"}
 	out := map[string]map[string]bool{}
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
@@ -177,8 +179,8 @@ func TestDocumentedCommandsUseRealFlags(t *testing.T) {
 }
 
 // TestFlagTablesUseRealFlags validates the flag reference tables: every
-// backticked token that looks like a flag in README.md or OBSERVABILITY.md
-// must be registered by some hiway subcommand.
+// backticked token that looks like a flag in README.md, OBSERVABILITY.md,
+// or SERVICE.md must be registered by some hiway subcommand.
 func TestFlagTablesUseRealFlags(t *testing.T) {
 	flags := cliFlags(t)
 	union := map[string]bool{}
@@ -188,7 +190,7 @@ func TestFlagTablesUseRealFlags(t *testing.T) {
 		}
 	}
 	ticked := regexp.MustCompile("`(-[a-z][a-z0-9-]*)[^`]*`")
-	for _, f := range []string{"README.md", "OBSERVABILITY.md"} {
+	for _, f := range []string{"README.md", "OBSERVABILITY.md", "SERVICE.md"} {
 		raw, err := os.ReadFile(f)
 		if err != nil {
 			t.Fatal(err)
@@ -201,23 +203,24 @@ func TestFlagTablesUseRealFlags(t *testing.T) {
 	}
 }
 
-// TestObsExportedIdentifiersDocumented enforces godoc coverage on the
-// observability package: every exported top-level declaration (and every
-// exported method) in internal/obs must carry a doc comment.
-func TestObsExportedIdentifiersDocumented(t *testing.T) {
+// assertExportedIdentifiersDocumented enforces godoc coverage on one
+// internal package: every exported top-level declaration (and every
+// exported method) must carry a doc comment.
+func assertExportedIdentifiersDocumented(t *testing.T, pkgName string) {
+	t.Helper()
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "obs"), func(fi os.FileInfo) bool {
+	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", pkgName), func(fi os.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
 	}, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, ok := pkgs["obs"]
+	pkg, ok := pkgs[pkgName]
 	if !ok {
-		t.Fatalf("package obs not found (got %v)", pkgs)
+		t.Fatalf("package %s not found (got %v)", pkgName, pkgs)
 	}
 	undocumented := func(pos token.Pos, what string) {
-		t.Errorf("internal/obs: %s at %s has no doc comment", what, fset.Position(pos))
+		t.Errorf("internal/%s: %s at %s has no doc comment", pkgName, what, fset.Position(pos))
 	}
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
@@ -246,6 +249,82 @@ func TestObsExportedIdentifiersDocumented(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestObsExportedIdentifiersDocumented enforces godoc coverage on the
+// observability package.
+func TestObsExportedIdentifiersDocumented(t *testing.T) {
+	assertExportedIdentifiersDocumented(t, "obs")
+}
+
+// TestServiceExportedIdentifiersDocumented enforces godoc coverage on the
+// service tier, whose exported surface (Server, Routes, request/response
+// types) is the HTTP API contract SERVICE.md documents.
+func TestServiceExportedIdentifiersDocumented(t *testing.T) {
+	assertExportedIdentifiersDocumented(t, "service")
+}
+
+// routeRow matches one endpoint-table row of SERVICE.md,
+// e.g. "| `POST` | `/v1/workflows` | submit … |".
+var routeRow = regexp.MustCompile("^\\|\\s*`(GET|POST|PUT|DELETE|PATCH)`\\s*\\|\\s*`([^`]+)`\\s*\\|")
+
+// TestServiceRoutesDocumented cross-checks SERVICE.md's endpoint reference
+// against service.Routes(), the table the HTTP mux is built from: every
+// registered route must be documented, and every documented route must be
+// registered — method and pattern both.
+func TestServiceRoutesDocumented(t *testing.T) {
+	raw, err := os.ReadFile("SERVICE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := routeRow.FindStringSubmatch(line); m != nil {
+			documented[m[1]+" "+m[2]] = true
+		}
+	}
+	for _, rt := range service.Routes() {
+		key := rt.Method + " " + rt.Pattern
+		if !documented[key] {
+			t.Errorf("SERVICE.md: registered route %q is not in the endpoint reference", key)
+		}
+		delete(documented, key)
+	}
+	for key := range documented {
+		t.Errorf("SERVICE.md: documents route %q, which the server does not register", key)
+	}
+}
+
+// TestDocsCIJobRunsAllDocsTests keeps the CI docs job honest: the -run
+// pattern it passes to go test must select every Test function defined in
+// this file, so adding a docs test without wiring it into CI fails here.
+func TestDocsCIJobRunsAllDocsTests(t *testing.T) {
+	ci, err := os.ReadFile(filepath.Join(".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`go test -run '([^']+)' -v \.`).FindStringSubmatch(string(ci))
+	if m == nil {
+		t.Fatal("ci.yml: docs job's `go test -run '…' -v .` invocation not found")
+	}
+	pattern, err := regexp.Compile(m[1])
+	if err != nil {
+		t.Fatalf("ci.yml: docs job -run pattern does not compile: %v", err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "docs_test.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || !strings.HasPrefix(fn.Name.Name, "Test") {
+			continue
+		}
+		if !pattern.MatchString(fn.Name.Name) {
+			t.Errorf("ci.yml: docs job -run pattern %q does not select %s", m[1], fn.Name.Name)
 		}
 	}
 }

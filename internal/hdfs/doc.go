@@ -8,4 +8,17 @@
 // shared switch, writes pipeline replicas to other nodes, and files marked
 // external (the paper's S3 bucket) are fetched over the node NIC without
 // crossing the cluster switch.
+//
+// # Concurrency contract
+//
+// An FS is NOT goroutine-safe, and deliberately so: block placement draws
+// from a seeded rng and I/O completion rides the single-threaded
+// discrete-event engine, so any cross-goroutine interleaving would destroy
+// both determinism and the virtual-clock ordering. Concurrent layers shard
+// rather than lock: each concurrently executing workflow run owns a private
+// FS (internal/shard's parallel -w shards; internal/service's Server, which
+// materializes one namespace per admitted run and stages the run's inputs
+// under its own /svc/<tenant>/<name>/ prefix). Sharing is confined to the
+// layers above — an admission gate and a run registry — never the
+// namespace itself.
 package hdfs

@@ -1,0 +1,595 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hiway/internal/provenance"
+)
+
+// serveProfiles is a small two-tenant mix with arrival rates, usable by
+// both the live server and the deterministic replay.
+func serveProfiles() []TenantProfile {
+	return []TenantProfile{
+		{Name: "alpha", Weight: 2, MaxContainers: 8, RatePerSec: 0.05,
+			Workload: WorkloadSpec{Kind: WorkloadSNV, FileSizeMB: 16, CPUSeconds: 10}},
+		{Name: "beta", Weight: 1, MaxContainers: 4, RatePerSec: 0.03, Burst: 2,
+			Workload: WorkloadSpec{Kind: WorkloadSNV, FilesPerSample: 3, FileSizeMB: 16, CPUSeconds: 10}},
+	}
+}
+
+// postJSON drives one request through the server's real handler chain.
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) ErrorResponse {
+	t.Helper()
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatalf("decoding error response %q: %v", rec.Body.String(), err)
+	}
+	return er
+}
+
+func workloadSubmission(tenant, name string) SubmitRequest {
+	return SubmitRequest{Tenant: tenant, Name: name,
+		Workload: &WorkloadSpec{Kind: WorkloadSNV, FileSizeMB: 16, CPUSeconds: 10}}
+}
+
+// waitDrained drains the server and fails the test if it does not settle.
+func waitDrained(t *testing.T, s *Server) {
+	t.Helper()
+	s.StartDrain()
+	select {
+	case <-s.Drained():
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	s.Wait()
+}
+
+func TestServerRejectsBadSubmissions(t *testing.T) {
+	s, err := NewServer(ServerConfig{}, serveProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"tenant": `, http.StatusBadRequest},
+		{"missing tenant", `{"name":"w1","workload":{"kind":"snv"}}`, http.StatusBadRequest},
+		{"unknown tenant", `{"tenant":"nobody","name":"w1","workload":{"kind":"snv"}}`, http.StatusForbidden},
+		{"bad run name", `{"tenant":"alpha","name":"../etc","workload":{"kind":"snv"}}`, http.StatusBadRequest},
+		{"no payload", `{"tenant":"alpha","name":"w1"}`, http.StatusBadRequest},
+		{"both payloads", `{"tenant":"alpha","name":"w1","source":"x","lang":"trace","workload":{"kind":"snv"}}`, http.StatusBadRequest},
+		{"unknown lang", `{"tenant":"alpha","name":"w1","source":"x","lang":"perl"}`, http.StatusBadRequest},
+		{"unknown workload kind", `{"tenant":"alpha","name":"w1","workload":{"kind":"mapreduce"}}`, http.StatusBadRequest},
+		{"unknown policy", `{"tenant":"alpha","name":"w1","policy":"random","workload":{"kind":"snv"}}`, http.StatusBadRequest},
+		{"bad input spec", `{"tenant":"alpha","name":"w1","workload":{"kind":"snv"},"inputs":[{"path":"","sizeMB":0}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/v1/workflows", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: got %d want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+		if er := decodeError(t, rec); er.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+	if got := int(s.acceptedC.Value()); got != 0 {
+		t.Fatalf("rejected submissions were accepted: %d", got)
+	}
+}
+
+func TestServerRunsWorkloadToCompletion(t *testing.T) {
+	s, err := NewServer(ServerConfig{Nodes: 4}, serveProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w000"))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: got %d (%s)", rec.Code, rec.Body.String())
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != "alpha-w000" || resp.State != StateQueued {
+		t.Fatalf("submit response: %+v", resp)
+	}
+
+	run := s.Lookup(resp.ID)
+	if run == nil {
+		t.Fatal("run not registered")
+	}
+	select {
+	case <-run.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not finish")
+	}
+
+	st := get(t, h, "/v1/workflows/alpha-w000")
+	if st.Code != http.StatusOK {
+		t.Fatalf("status: got %d", st.Code)
+	}
+	var status RunStatus
+	if err := json.Unmarshal(st.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.State != StateSucceeded {
+		t.Fatalf("run state %q, error %q", status.State, status.Error)
+	}
+	if len(status.CompletedTasks) == 0 || status.Tasks != len(status.CompletedTasks) {
+		t.Fatalf("completed tasks: %+v", status)
+	}
+	if status.MakespanSec <= 0 {
+		t.Fatalf("makespan %v", status.MakespanSec)
+	}
+	for _, out := range status.Outputs {
+		if !strings.HasPrefix(out, "/svc/alpha/w000/") {
+			t.Fatalf("output %q not rebased under the run prefix", out)
+		}
+	}
+
+	// Duplicate name → 409.
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w000")); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate: got %d", rec.Code)
+	}
+	// Unknown run → 404.
+	if rec := get(t, h, "/v1/workflows/alpha-w999"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown run: got %d", rec.Code)
+	}
+
+	// List shows the run terminal.
+	lr := get(t, h, "/v1/workflows")
+	var list struct {
+		Runs []RunStatus `json:"runs"`
+	}
+	if err := json.Unmarshal(lr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 1 || list.Runs[0].ID != "alpha-w000" {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// SSE replay of a finished run carries the full lifecycle.
+	ev := get(t, h, "/v1/workflows/alpha-w000/events")
+	if ev.Code != http.StatusOK {
+		t.Fatalf("events: got %d", ev.Code)
+	}
+	stream := ev.Body.String()
+	for _, typ := range []string{EventQueued, EventAdmitted, EventProgress, EventFinished} {
+		if !strings.Contains(stream, "event: "+typ+"\n") {
+			t.Fatalf("stream missing %q:\n%s", typ, stream)
+		}
+	}
+
+	// /metrics exposes the serve registry; /healthz answers.
+	mr := get(t, h, "/metrics")
+	if mr.Code != http.StatusOK || !strings.Contains(mr.Body.String(), "hiway_serve_completed_total 1") {
+		t.Fatalf("metrics: %d\n%s", mr.Code, mr.Body.String())
+	}
+	if hr := get(t, h, "/healthz"); hr.Code != http.StatusOK {
+		t.Fatalf("healthz: got %d", hr.Code)
+	}
+
+	waitDrained(t, s)
+	if st := s.Stats(); st.Completed != 1 || st.Failed != 0 || st.Accepted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestServerRunsCuneiformSource(t *testing.T) {
+	s, err := NewServer(ServerConfig{Nodes: 2}, serveProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	src := `deftask gen( out : inp ) @cpu 5 in bash *{ make $inp > $out }*
+gen( inp: "seed.txt" );`
+	rec := postJSON(t, h, "/v1/workflows", SubmitRequest{
+		Tenant: "alpha", Name: "cf1", Lang: "cuneiform", Source: src,
+		Inputs: []InputSpec{{Path: "seed.txt", SizeMB: 8}},
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: got %d (%s)", rec.Code, rec.Body.String())
+	}
+	run := s.Lookup("alpha-cf1")
+	select {
+	case <-run.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not finish")
+	}
+	if st := run.Status(); st.State != StateSucceeded {
+		t.Fatalf("state %q, error %q", st.State, st.Error)
+	}
+	waitDrained(t, s)
+}
+
+// gateHook blocks every admitted run until released, pinning runs in the
+// running state so quota and backpressure paths can be tested without races.
+type gateHook struct {
+	admitted chan string
+	release  chan struct{}
+}
+
+func (g *gateHook) OnQueued(now float64, tenant, id string)                       {}
+func (g *gateHook) OnRejected(now float64, tenant, id string, retryAfter float64) {}
+func (g *gateHook) OnFinished(now float64, tenant, id string, succeeded bool)     {}
+func (g *gateHook) OnAdmitted(now float64, tenant, id string) {
+	g.admitted <- id
+	<-g.release
+}
+
+func TestServerBackpressureAndTenantQuota(t *testing.T) {
+	hook := &gateHook{admitted: make(chan string, 16), release: make(chan struct{})}
+	profiles := serveProfiles()
+	profiles[0].MaxInFlight = 2
+	s, err := NewServer(ServerConfig{
+		Nodes: 2, MaxConcurrent: 1, MaxQueue: 1, RetryAfterSec: 7, Hook: hook,
+	}, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// First run admitted (and parked in the hook), second queued.
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w000")); rec.Code != http.StatusAccepted {
+		t.Fatalf("w000: got %d", rec.Code)
+	}
+	select {
+	case <-hook.admitted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("w000 never admitted")
+	}
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("beta", "w000")); rec.Code != http.StatusAccepted {
+		t.Fatalf("beta-w000: got %d", rec.Code)
+	}
+
+	// Queue is now full: a third submission gets 429 with the hint.
+	rec := postJSON(t, h, "/v1/workflows", workloadSubmission("beta", "w001"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-queue: got %d (%s)", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After header %q", got)
+	}
+	if er := decodeError(t, rec); er.RetryAfterSec != 7 {
+		t.Fatalf("retryAfterSec %v", er.RetryAfterSec)
+	}
+
+	// Drain stops admission with 503 and answers the drain endpoint.
+	dr := postJSON(t, h, "/v1/drain", struct{}{})
+	if dr.Code != http.StatusAccepted {
+		t.Fatalf("drain: got %d", dr.Code)
+	}
+	var drained DrainResponse
+	if err := json.Unmarshal(dr.Body.Bytes(), &drained); err != nil {
+		t.Fatal(err)
+	}
+	if !drained.Draining || drained.Running != 1 || drained.Queued != 1 {
+		t.Fatalf("drain response: %+v", drained)
+	}
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w100")); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: got %d", rec.Code)
+	}
+
+	close(hook.release)
+	select {
+	case <-s.Drained():
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	s.Wait()
+	st := s.Stats()
+	if st.Rejected != 1 || st.Completed != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The queued run was rejected once before acceptance? No — the 429 hit a
+	// different run name; its ID must not exist.
+	if s.Lookup("beta-w001") != nil {
+		t.Fatal("rejected run must not be registered")
+	}
+}
+
+func TestServerTenantMaxInFlight(t *testing.T) {
+	hook := &gateHook{admitted: make(chan string, 16), release: make(chan struct{})}
+	profiles := serveProfiles()
+	profiles[0].MaxInFlight = 1
+	s, err := NewServer(ServerConfig{
+		Nodes: 2, MaxConcurrent: 4, MaxQueue: 16, RetryAfterSec: 3, Hook: hook,
+	}, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w000")); rec.Code != http.StatusAccepted {
+		t.Fatalf("w000: got %d", rec.Code)
+	}
+	<-hook.admitted
+	// alpha is at its quota; beta is not affected.
+	rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w001"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota: got %d", rec.Code)
+	}
+	if er := decodeError(t, rec); !strings.Contains(er.Error, "max in-flight") {
+		t.Fatalf("error %q", er.Error)
+	}
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("beta", "w000")); rec.Code != http.StatusAccepted {
+		t.Fatalf("beta unaffected: got %d", rec.Code)
+	}
+	<-hook.admitted
+	close(hook.release)
+	waitDrained(t, s)
+
+	// The rejected ID, resubmitted after capacity freed, carries its
+	// rejection history — but the server is drained now, so check the
+	// reject bookkeeping survived on the record instead.
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestServerRejectionHistoryMergesIntoRun(t *testing.T) {
+	hook := &gateHook{admitted: make(chan string, 16), release: make(chan struct{})}
+	profiles := serveProfiles()
+	profiles[0].MaxInFlight = 1
+	s, err := NewServer(ServerConfig{Nodes: 2, MaxConcurrent: 4, MaxQueue: 16, Hook: hook}, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w000")); rec.Code != http.StatusAccepted {
+		t.Fatalf("w000: got %d", rec.Code)
+	}
+	<-hook.admitted
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w001")); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("first try: got %d", rec.Code)
+	}
+	close(hook.release)
+	if run := s.Lookup("alpha-w000"); run != nil {
+		select {
+		case <-run.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatal("w000 did not finish")
+		}
+	}
+	// Retry after capacity freed: accepted, carrying one rejection.
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w001")); rec.Code != http.StatusAccepted {
+		t.Fatalf("retry: got %d (%s)", rec.Code, rec.Body.String())
+	}
+	run := s.Lookup("alpha-w001")
+	select {
+	case <-run.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("w001 did not finish")
+	}
+	if st := run.Status(); st.Rejections != 1 {
+		t.Fatalf("rejections %d", st.Rejections)
+	}
+	waitDrained(t, s)
+}
+
+func TestSeededSubmissionsDeterministic(t *testing.T) {
+	profiles := serveProfiles()
+	render := func(subs []TimedSubmission) string {
+		b, err := json.Marshal(subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a := SeededSubmissions(42, profiles, 300)
+	b := SeededSubmissions(42, profiles, 300)
+	if len(a) == 0 {
+		t.Fatal("no submissions generated")
+	}
+	if render(a) != render(b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if c := SeededSubmissions(43, profiles, 300); render(a) == render(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Burst tenants submit Burst workflows per arrival with sequential names.
+	perTenant := map[string][]string{}
+	for _, ts := range a {
+		perTenant[ts.Req.Tenant] = append(perTenant[ts.Req.Tenant], ts.Req.Name)
+	}
+	for tenant, names := range perTenant {
+		for i, n := range names {
+			if want := fmt.Sprintf("w%03d", i); n != want {
+				t.Fatalf("tenant %s submission %d named %q, want %q", tenant, i, n, want)
+			}
+		}
+	}
+}
+
+func TestDeterministicReplayIsReproducible(t *testing.T) {
+	runReplay := func() ([]byte, ServerStats) {
+		s, err := NewServer(ServerConfig{
+			Nodes: 2, MaxConcurrent: 2, MaxQueue: 4, RetryAfterSec: 20, RetryLimit: 1,
+			Deterministic: true,
+		}, serveProfiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunDeterministic(7, 200); err != nil {
+			t.Fatal(err)
+		}
+		return s.Multiset(), s.Stats()
+	}
+	m1, st1 := runReplay()
+	m2, st2 := runReplay()
+	if !bytes.Equal(m1, m2) {
+		t.Fatalf("same-seed replays diverged:\n%s\n--\n%s", m1, m2)
+	}
+	if st1 != st2 {
+		t.Fatalf("same-seed replay stats diverged: %+v vs %+v", st1, st2)
+	}
+	if st1.Completed == 0 {
+		t.Fatalf("replay completed nothing: %+v", st1)
+	}
+}
+
+func TestDeterministicReplayMatchesLiveServer(t *testing.T) {
+	const seed, window = 11, 150.0
+	profiles := serveProfiles()
+
+	det, err := NewServer(ServerConfig{Nodes: 2, MaxQueue: 1 << 10, Deterministic: true}, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.RunDeterministic(seed, window); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := NewServer(ServerConfig{Nodes: 2, MaxQueue: 1 << 10}, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := live.Handler()
+	for _, ts := range SeededSubmissions(seed, profiles, window) {
+		if rec := postJSON(t, h, "/v1/workflows", ts.Req); rec.Code != http.StatusAccepted {
+			t.Fatalf("live submit %s-%s: got %d", ts.Req.Tenant, ts.Req.Name, rec.Code)
+		}
+	}
+	waitDrained(t, live)
+
+	if got, want := live.Multiset(), det.Multiset(); !bytes.Equal(got, want) {
+		t.Fatalf("live multiset diverged from deterministic replay:\nlive:\n%s\ndet:\n%s", got, want)
+	}
+	if live.Stats().Completed != det.Stats().Completed {
+		t.Fatalf("completed counts diverged: %+v vs %+v", live.Stats(), det.Stats())
+	}
+}
+
+func TestRunDeterministicRequiresDeterministicServer(t *testing.T) {
+	s, err := NewServer(ServerConfig{}, serveProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunDeterministic(1, 10); err == nil {
+		t.Fatal("expected an error on a non-deterministic server")
+	}
+	det, err := NewServer(ServerConfig{Deterministic: true}, serveProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.RunDeterministic(1, 0); err == nil {
+		t.Fatal("expected an error for a non-positive duration")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Policy: "random"}, serveProfiles()); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewServer(ServerConfig{}, nil); err == nil {
+		t.Fatal("empty profiles accepted")
+	}
+	// Deterministic servers need arrival rates.
+	rateless := []TenantProfile{{Name: "only", Workload: WorkloadSpec{Kind: WorkloadSNV}}}
+	if _, err := NewServer(ServerConfig{Deterministic: true}, rateless); err == nil {
+		t.Fatal("deterministic server accepted a rate-less profile")
+	}
+	// A live server accepts rate-less profiles (HTTP-only tenants).
+	if _, err := NewServer(ServerConfig{}, rateless); err != nil {
+		t.Fatalf("live server rejected a rate-less profile: %v", err)
+	}
+}
+
+func TestRunRegistryStriping(t *testing.T) {
+	reg := newRunRegistry()
+	ids := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("tenant-%02d-w%03d", i%7, i)
+		ids = append(ids, id)
+		if !reg.Store(id, &Run{ID: id}) {
+			t.Fatalf("fresh id %q reported duplicate", id)
+		}
+	}
+	for _, id := range ids {
+		if got := reg.Load(id); got == nil || got.ID != id {
+			t.Fatalf("Load(%q) = %v", id, got)
+		}
+	}
+	if reg.Store(ids[0], &Run{ID: ids[0]}) {
+		t.Fatal("duplicate store succeeded")
+	}
+	if reg.Load("missing") != nil {
+		t.Fatal("missing id resolved")
+	}
+	if got := len(reg.All()); got != 64 {
+		t.Fatalf("All() returned %d runs, want 64", got)
+	}
+}
+
+func TestServerFlushProvenanceMergesAllRuns(t *testing.T) {
+	s, err := NewServer(ServerConfig{Nodes: 2}, serveProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", fmt.Sprintf("w%03d", i))); rec.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: got %d", i, rec.Code)
+		}
+	}
+	waitDrained(t, s)
+
+	dst := provenance.NewMemStore()
+	n, err := s.FlushProvenance(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := dst.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || len(evs) != n {
+		t.Fatalf("flushed %d events, store has %d", n, len(evs))
+	}
+	seen := map[string]bool{}
+	for i, ev := range evs {
+		seen[ev.WorkflowID] = true
+		if i > 0 && evs[i].Timestamp < evs[i-1].Timestamp {
+			t.Fatalf("merged events out of order at %d", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if id := fmt.Sprintf("alpha-w%03d", i); !seen[id] {
+			t.Fatalf("flushed trace missing run %s (have %v)", id, seen)
+		}
+	}
+}

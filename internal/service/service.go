@@ -1,17 +1,3 @@
-// Package service is the workflow-as-a-service tier over the simulated
-// Hi-WAY substrate: the layer the paper's architecture implies (one YARN
-// application master per workflow, many workflows from many users on one
-// cluster, §"Hadoop YARN resource manager") but a single-run engine never
-// exercises. A seeded open-loop arrival generator submits workflows from
-// mixed tenant profiles; an admission controller bounds concurrent AMs and
-// applies queue-depth backpressure (rejection with a retry-after hint);
-// per-tenant weighted fair-share quotas are enforced by internal/yarn's
-// allocator; and every workflow's queue wait, makespan, end-to-end latency
-// and rejections are accounted and exported through internal/obs as
-// hiway_svc_* metrics and spans.
-//
-// Everything is deterministic by seed: the same Config and profiles produce
-// byte-identical accounting across runs, which is what the soak tests pin.
 package service
 
 import (
@@ -47,6 +33,44 @@ type TenantProfile struct {
 	Burst int
 	// Workload picks the DAG generator for this tenant's submissions.
 	Workload WorkloadSpec
+	// MaxInFlight caps the tenant's concurrently accepted workflows
+	// (queued + running) in the network server; excess submissions are
+	// rejected with 429 and a retry-after hint. 0 means no cap. The
+	// seeded-arrival Service ignores it (its backpressure is global).
+	MaxInFlight int
+}
+
+// validateProfiles checks and normalizes a tenant profile list in place:
+// unique non-empty names, defaulted bursts and workload specs. With
+// needRates (the seeded-arrival tiers: Service, and Server's deterministic
+// mode), every profile must also declare a positive arrival rate; the
+// network server accepts rate-less profiles, which submit over HTTP only.
+func validateProfiles(profiles []TenantProfile, needRates bool) error {
+	if len(profiles) == 0 {
+		return fmt.Errorf("service: no tenant profiles")
+	}
+	seen := map[string]bool{}
+	for i := range profiles {
+		p := &profiles[i]
+		if p.Name == "" {
+			return fmt.Errorf("service: profile %d has no name", i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("service: duplicate tenant %q", p.Name)
+		}
+		seen[p.Name] = true
+		if needRates && p.RatePerSec <= 0 {
+			return fmt.Errorf("service: tenant %q needs a positive arrival rate", p.Name)
+		}
+		if p.Burst <= 0 {
+			p.Burst = 1
+		}
+		p.Workload.setDefaults()
+		if err := p.Workload.validate(); err != nil {
+			return fmt.Errorf("service: tenant %q: %w", p.Name, err)
+		}
+	}
+	return nil
 }
 
 // TenantPolicies derives the yarn allocator configuration from the profiles,
@@ -170,8 +194,7 @@ type Service struct {
 	cfg      Config
 	profiles []TenantProfile
 
-	queue    []*pendingWF
-	running  int
+	gate     *fifoGate[*pendingWF]
 	pumping  bool
 	accounts []*Account
 
@@ -194,31 +217,11 @@ type Service struct {
 // and Fair sharing for the quotas and weights to take effect.
 func New(eng *sim.Engine, env core.Env, cfg Config, profiles []TenantProfile) (*Service, error) {
 	cfg.setDefaults()
-	if len(profiles) == 0 {
-		return nil, fmt.Errorf("service: no tenant profiles")
+	if err := validateProfiles(profiles, true); err != nil {
+		return nil, err
 	}
-	seen := map[string]bool{}
-	for i := range profiles {
-		p := &profiles[i]
-		if p.Name == "" {
-			return nil, fmt.Errorf("service: profile %d has no name", i)
-		}
-		if seen[p.Name] {
-			return nil, fmt.Errorf("service: duplicate tenant %q", p.Name)
-		}
-		seen[p.Name] = true
-		if p.RatePerSec <= 0 {
-			return nil, fmt.Errorf("service: tenant %q needs a positive arrival rate", p.Name)
-		}
-		if p.Burst <= 0 {
-			p.Burst = 1
-		}
-		p.Workload.setDefaults()
-		if err := p.Workload.validate(); err != nil {
-			return nil, fmt.Errorf("service: tenant %q: %w", p.Name, err)
-		}
-	}
-	s := &Service{eng: eng, env: env, cfg: cfg, profiles: profiles}
+	s := &Service{eng: eng, env: env, cfg: cfg, profiles: profiles,
+		gate: newFifoGate[*pendingWF](cfg.MaxConcurrent, cfg.MaxQueue)}
 	s.tr = env.Obs.T()
 	m := env.Obs.M()
 	s.submittedC = make(map[string]*obs.Counter, len(profiles))
@@ -301,7 +304,7 @@ func (s *Service) submitAttempt(w *pendingWF, attempt int) {
 		w.acct = &Account{ID: w.id, Tenant: tenant, SubmitAt: now}
 		s.accounts = append(s.accounts, w.acct)
 	}
-	if len(s.queue) >= s.cfg.MaxQueue {
+	if s.gate.Full() {
 		// Backpressure: reject with a retry-after hint.
 		w.acct.Rejections++
 		s.rejectedC[tenant].Inc()
@@ -321,42 +324,44 @@ func (s *Service) submitAttempt(w *pendingWF, attempt int) {
 	w.acct.QueuedAt = now
 	w.span = s.tr.BeginAsync("svc", w.id, "service", 0)
 	s.tr.Arg(w.span, "tenant", tenant)
-	s.queue = append(s.queue, w)
+	s.gate.Enqueue(w)
 	if s.cfg.Hook != nil {
 		s.cfg.Hook.OnQueued(now, tenant, w.id)
 	}
 	s.pump()
 }
 
-// pump admits queued workflows in strict FIFO order while the concurrency
-// budget allows. Admission never skips the queue head: if the head cannot
-// launch (AM capacity), the pump stalls until a running workflow finishes
-// and frees resources — head-of-line blocking is what preserves intra-tenant
-// admission order, one of the audited service invariants.
+// pump admits queued workflows through the shared fifoGate in strict FIFO
+// order while the concurrency budget allows. Admission never skips the
+// queue head: if the head cannot launch (AM capacity), the pump stalls
+// until a running workflow finishes and frees resources — head-of-line
+// blocking is what preserves intra-tenant admission order, one of the
+// audited service invariants.
 func (s *Service) pump() {
 	if s.pumping {
 		return
 	}
 	s.pumping = true
 	defer func() { s.pumping = false }()
-	for s.running < s.cfg.MaxConcurrent && len(s.queue) > 0 {
-		w := s.queue[0]
-		s.queue = s.queue[1:]
-		s.running++
+	for {
+		w, ok := s.gate.Next()
+		if !ok {
+			break
+		}
 		if err := s.admit(w); err != nil {
-			s.running--
-			if s.running > 0 {
+			if s.gate.Running() > 1 {
 				// Resources will free when a running AM finishes; put the
 				// head back and wait.
-				s.queue = append([]*pendingWF{w}, s.queue...)
+				s.gate.Requeue(w)
 				break
 			}
 			// Nothing running and still unlaunchable: terminal failure.
+			s.gate.Finish()
 			s.terminate(w, false, err)
 		}
 	}
-	s.depthG.Set(float64(len(s.queue)))
-	s.runningG.Set(float64(s.running))
+	s.depthG.Set(float64(s.gate.Depth()))
+	s.runningG.Set(float64(s.gate.Running()))
 }
 
 // admit stages the workflow's inputs and launches its AM. The caller has
@@ -401,7 +406,7 @@ func (s *Service) admit(w *pendingWF) error {
 // onTerminal settles the account when a workflow's AM reaches a terminal
 // report, then re-pumps the queue.
 func (s *Service) onTerminal(w *pendingWF, rep *core.Report) {
-	s.running--
+	s.gate.Finish()
 	var err error
 	if rep.Err != nil {
 		err = rep.Err
@@ -433,15 +438,15 @@ func (s *Service) terminate(w *pendingWF, succeeded bool, err error) {
 	if s.cfg.Hook != nil {
 		s.cfg.Hook.OnFinished(now, w.profile.Name, w.id, succeeded)
 	}
-	s.depthG.Set(float64(len(s.queue)))
-	s.runningG.Set(float64(s.running))
+	s.depthG.Set(float64(s.gate.Depth()))
+	s.runningG.Set(float64(s.gate.Running()))
 }
 
 // QueueDepth returns the number of workflows waiting for admission.
-func (s *Service) QueueDepth() int { return len(s.queue) }
+func (s *Service) QueueDepth() int { return s.gate.Depth() }
 
 // Running returns the number of admitted, unfinished workflows.
-func (s *Service) Running() int { return s.running }
+func (s *Service) Running() int { return s.gate.Running() }
 
 // Accounts returns every workflow's record in submission order.
 func (s *Service) Accounts() []*Account {

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// runStripes is the lock-stripe count of the run registry. Sixteen stripes
+// keep status polling from thousands of clients off the submission path's
+// stripe with high probability while staying cache-friendly.
+const runStripes = 16
+
+// runRegistry is the server's lock-striped run table: run lookups (status,
+// SSE subscriptions, the completed-multiset walk) take only their stripe's
+// read lock, so a burst of submissions inserting under one stripe's write
+// lock never serializes the whole registry. Keys are run IDs
+// ("<tenant>-<name>"); striping is by FNV-1a hash.
+type runRegistry struct {
+	stripes [runStripes]struct {
+		mu   sync.RWMutex
+		runs map[string]*Run
+	}
+}
+
+// newRunRegistry returns an empty registry with all stripes initialized.
+func newRunRegistry() *runRegistry {
+	r := &runRegistry{}
+	for i := range r.stripes {
+		r.stripes[i].runs = make(map[string]*Run)
+	}
+	return r
+}
+
+// stripeFor hashes id onto its stripe.
+func (r *runRegistry) stripeFor(id string) *struct {
+	mu   sync.RWMutex
+	runs map[string]*Run
+} {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &r.stripes[h.Sum32()%runStripes]
+}
+
+// Load returns the run registered under id, or nil.
+func (r *runRegistry) Load(id string) *Run {
+	s := r.stripeFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.runs[id]
+}
+
+// Store registers run under id, reporting false if the id is taken.
+func (r *runRegistry) Store(id string, run *Run) bool {
+	s := r.stripeFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.runs[id]; ok {
+		return false
+	}
+	s.runs[id] = run
+	return true
+}
+
+// All returns every registered run in unspecified order.
+func (r *runRegistry) All() []*Run {
+	var out []*Run
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.RLock()
+		for _, run := range s.runs {
+			out = append(out, run)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}

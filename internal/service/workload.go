@@ -20,15 +20,15 @@ const (
 // instances, so each is a scaled-down replica of the paper's DAG shapes.
 type WorkloadSpec struct {
 	// Kind is the generator: WorkloadSNV or WorkloadTRAPLINE.
-	Kind string
+	Kind string `json:"kind"`
 	// Samples is the SNV sample count per workflow (default 1).
-	Samples int
+	Samples int `json:"samples,omitempty"`
 	// FilesPerSample is the SNV read-file fan-out (default 2).
-	FilesPerSample int
+	FilesPerSample int `json:"filesPerSample,omitempty"`
 	// FileSizeMB sizes each input file (default 64).
-	FileSizeMB float64
+	FileSizeMB float64 `json:"fileSizeMB,omitempty"`
 	// CPUSeconds overrides every task's CPU demand (default 40).
-	CPUSeconds float64
+	CPUSeconds float64 `json:"cpuSeconds,omitempty"`
 }
 
 func (w *WorkloadSpec) setDefaults() {
@@ -62,7 +62,17 @@ func (w *WorkloadSpec) validate() error {
 // rebased under a per-instance path prefix so concurrent instances never
 // collide in HDFS.
 func buildWorkflow(p *TenantProfile, seq int) (wf.StaticDriver, []workloads.Input, error) {
-	spec := p.Workload
+	return buildSpecWorkflow(p.Name, fmt.Sprintf("w%03d", seq), p.Workload)
+}
+
+// buildSpecWorkflow instantiates one generator-backed workflow for a named
+// submission, rebased under /svc/<tenant>/<name> so concurrent instances
+// never collide in HDFS. Both the seeded-arrival Service and the network
+// Server build their workloads here, which is what makes a deterministic
+// replay and a live HTTP run produce identical DAGs for the same
+// (tenant, name, spec) triple.
+func buildSpecWorkflow(tenant, name string, spec WorkloadSpec) (wf.StaticDriver, []workloads.Input, error) {
+	spec.setDefaults()
 	var driver wf.StaticDriver
 	var inputs []workloads.Input
 	switch spec.Kind {
@@ -89,7 +99,7 @@ func buildWorkflow(p *TenantProfile, seq int) (wf.StaticDriver, []workloads.Inpu
 	default:
 		return nil, nil, fmt.Errorf("service: unknown workload kind %q", spec.Kind)
 	}
-	prefix := fmt.Sprintf("/svc/%s/w%03d", p.Name, seq)
+	prefix := fmt.Sprintf("/svc/%s/%s", tenant, name)
 	if err := rebase(driver, inputs, prefix); err != nil {
 		return nil, nil, err
 	}

@@ -15,4 +15,17 @@
 // per-node allocation counts, and an allocation-latency histogram in
 // virtual seconds. With no observer attached every hook is a nil-receiver
 // no-op.
+//
+// # Concurrency contract
+//
+// A ResourceManager is NOT goroutine-safe, and deliberately so: it advances
+// in lockstep with one discrete-event engine (internal/sim), whose virtual
+// clock is serial by definition — interleaving two goroutines through one
+// RM would have no meaningful event order. Concurrent layers must therefore
+// shard rather than lock: give each concurrently executing workflow run its
+// own RM (plus engine, cluster, and HDFS namespace), as internal/shard's
+// parallel -w shards and internal/service's Server (one substrate per
+// admitted run, seeded from the run ID) both do. This is what keeps the
+// service tier race-clean without a single mutex in this package, and what
+// makes a run's outcome a pure function of its submission.
 package yarn
