@@ -1,8 +1,8 @@
 // Command hiway is the client for submitting scientific workflows, the
 // analogue of the paper's light-weight client program (§3.1). It executes a
 // workflow written in any supported language (Cuneiform, Pegasus DAX,
-// Galaxy, or a Hi-WAY provenance trace) either with real processes on the
-// local machine or on a simulated YARN cluster.
+// Galaxy, CWL, or a Hi-WAY provenance trace) either with real processes on
+// the local machine or on a simulated YARN cluster.
 //
 // Usage:
 //
@@ -26,7 +26,8 @@
 // trace. See OBSERVABILITY.md for the full span and metric taxonomy.
 //
 // The language is detected from the file extension (.cf/.cuneiform, .dax/
-// .xml, .ga [Galaxy JSON], .jsonl/.trace) and can be forced with -lang.
+// .xml, .ga [Galaxy JSON], .cwl [CWL JSON], .jsonl/.trace) with a content
+// sniff for unknown extensions, and can be forced with -lang.
 package main
 
 import (
@@ -51,10 +52,7 @@ import (
 	"hiway/internal/core"
 	"hiway/internal/experiments"
 	"hiway/internal/hdfs"
-	"hiway/internal/lang/cuneiform"
-	"hiway/internal/lang/dax"
-	"hiway/internal/lang/galaxy"
-	"hiway/internal/lang/trace"
+	"hiway/internal/lang"
 	"hiway/internal/localexec"
 	"hiway/internal/obs"
 	"hiway/internal/provdb"
@@ -128,10 +126,12 @@ func usage() {
       query a provenance store: workflow, task, and node summaries
 
   hiway verify [-seeds N] [-start N] [-policy all|P,P,...] [-out FILE.json]
-               [-repro FILE.json] [-no-shrink] [-v]
+               [-repro FILE.json] [-no-shrink] [-portability] [-v]
       property-based verification: run seeded random scenarios under every
       scheduling policy plus a kill/resume variant, auditing runtime
-      invariants; a failing seed is minimized into a reproducer (TESTING.md)
+      invariants; a failing seed is minimized into a reproducer (TESTING.md);
+      -portability forces the cross-language family so every seed is also
+      round-tripped through the Cuneiform and CWL frontends
 
   hiway load [-seed N] [-nodes N] [-duration SEC] [-rate X]
              [-max-concurrent N] [-max-queue N] [-retry-after SEC]
@@ -164,7 +164,7 @@ func usage() {
       replays the seeded tenant mix on a virtual clock through the same
       handlers instead of listening (SERVICE.md)
 
-Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), trace (.jsonl)
+Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), cwl (.cwl), trace (.jsonl)
 Scheduling policies: fcfs, dataaware (default), roundrobin, heft, adaptive
 `)
 }
@@ -175,44 +175,25 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
-// detectLang maps a file name to a language.
-func detectLang(path, forced string) string {
-	if forced != "" {
-		return forced
-	}
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".cf", ".cuneiform":
-		return "cuneiform"
-	case ".dax", ".xml":
-		return "dax"
-	case ".ga":
-		return "galaxy"
-	case ".jsonl", ".trace":
-		return "trace"
-	default:
-		return "cuneiform"
-	}
-}
-
-// buildDriver parses the workflow into the right frontend.
-func buildDriver(path, lang string, binds map[string]string) (wf.Driver, error) {
+// buildDriver reads the workflow file and parses it with the right
+// frontend: the forced language if given, else the shared detector's
+// verdict on the file name and content. It returns the resolved language
+// alongside the driver so callers can name it in messages.
+func buildDriver(path, forced string, binds map[string]string) (wf.Driver, string, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	language := forced
+	if language == "" {
+		language = lang.Detect(path, string(src))
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	switch lang {
-	case "cuneiform":
-		return cuneiform.NewDriver(name, string(src)), nil
-	case "dax":
-		return dax.NewDriver(name, string(src), dax.Options{}), nil
-	case "galaxy":
-		return galaxy.NewDriver(name, string(src), galaxy.Options{Inputs: binds}), nil
-	case "trace":
-		return trace.NewDriver(name, string(src)), nil
-	default:
-		return nil, fmt.Errorf("unknown language %q", lang)
+	driver, err := lang.NewDriver(language, name, string(src), binds)
+	if err != nil {
+		return nil, language, err
 	}
+	return driver, language, nil
 }
 
 func parseBinds(pairs []string) (map[string]string, error) {
@@ -243,7 +224,7 @@ func runLocal(args []string) error {
 	if err != nil {
 		return err
 	}
-	driver, err := buildDriver(*wfPath, detectLang(*wfPath, *lang), bindMap)
+	driver, _, err := buildDriver(*wfPath, *lang, bindMap)
 	if err != nil {
 		return err
 	}
@@ -392,7 +373,7 @@ func runSim(args []string) error {
 	}
 	shards := make([]*simShard, n)
 	for i, wfPath := range wfPaths {
-		driver, err := buildDriver(wfPath, detectLang(wfPath, *lang), bindMap)
+		driver, _, err := buildDriver(wfPath, *lang, bindMap)
 		if err != nil {
 			return err
 		}
@@ -470,7 +451,11 @@ func runSim(args []string) error {
 		if s.driver, err = shard.PreParse(driver); err != nil {
 			return err
 		}
-		s.cfg.WorkflowID = fmt.Sprintf("hiway-%s-%d", driver.Name(), wf.NextID())
+		// The shard index (not the global ID counter) keys the workflow
+		// ID, so the same workflow at the same position gets the same ID
+		// regardless of what parsed before it — renderings of one logical
+		// workflow in different languages stay byte-comparable.
+		s.cfg.WorkflowID = fmt.Sprintf("hiway-%s-%02d", driver.Name(), i)
 		shards[i] = s
 	}
 
@@ -595,6 +580,7 @@ func runVerify(args []string) error {
 	outPath := fs.String("out", "", "write the minimized failing reproducer JSON to this file")
 	verbose := fs.Bool("v", false, "print every seed's per-policy outcome, not just failures")
 	noShrink := fs.Bool("no-shrink", false, "report the first failing seed without minimizing it")
+	portability := fs.Bool("portability", false, "force the cross-language portability family on every seed (and on -repro)")
 	fs.Parse(args)
 
 	opts := verify.Options{}
@@ -628,6 +614,9 @@ func runVerify(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *portability {
+			sc.Portability = true
+		}
 		res := verify.CheckScenario(sc, opts)
 		if !res.OK() {
 			report(sc, res)
@@ -639,6 +628,9 @@ func runVerify(args []string) error {
 
 	for seed := *start; seed < *start+*seeds; seed++ {
 		sc := verify.Generate(seed)
+		if *portability {
+			sc.Portability = true
+		}
 		res := verify.CheckScenario(sc, opts)
 		if res.OK() {
 			if *verbose {
@@ -662,6 +654,28 @@ func runVerify(args []string) error {
 				return err
 			}
 			fmt.Println("reproducer:", *outPath)
+			// A portability failure gets a two-file reproducer alongside the
+			// JSON: the same workflow in both source languages, runnable
+			// directly with `hiway sim`/`hiway local`.
+			if repro.Portability {
+				for _, r := range []struct {
+					ext    string
+					render func(*verify.Scenario) (string, error)
+				}{
+					{".cf", verify.RenderCuneiform}, {".cwl", verify.RenderCWL},
+				} {
+					ext, render := r.ext, r.render
+					src, rerr := render(repro)
+					if rerr != nil {
+						fmt.Printf("rendering %s: %v\n", ext, rerr)
+						continue
+					}
+					if err := os.WriteFile(*outPath+ext, []byte(src), 0o644); err != nil {
+						return err
+					}
+					fmt.Println("reproducer workflow:", *outPath+ext)
+				}
+			}
 		} else {
 			fmt.Printf("reproducer (re-check with `hiway verify -repro FILE`):\n%s", repro.Marshal())
 		}
@@ -1100,14 +1114,14 @@ func runInspect(args []string) error {
 	if err != nil {
 		return err
 	}
-	driver, err := buildDriver(*wfPath, detectLang(*wfPath, *lang), bindMap)
+	driver, language, err := buildDriver(*wfPath, *lang, bindMap)
 	if err != nil {
 		return err
 	}
 	static, ok := driver.(wf.StaticDriver)
 	if !ok {
 		return fmt.Errorf("inspect needs a static workflow language; %s workflows unfold at run time (§3.3)",
-			detectLang(*wfPath, *lang))
+			language)
 	}
 	if _, err := static.Parse(); err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"hiway/internal/lang"
 	"hiway/internal/provdb"
 	"hiway/internal/provenance"
 	"hiway/internal/scheduler"
@@ -38,17 +39,15 @@ func TestDetectLang(t *testing.T) {
 		"wf.dax":       "dax",
 		"wf.xml":       "dax",
 		"wf.ga":        "galaxy",
+		"wf.cwl":       "cwl",
 		"run.jsonl":    "trace",
 		"run.trace":    "trace",
 		"noext":        "cuneiform",
 	}
 	for path, want := range cases {
-		if got := detectLang(path, ""); got != want {
-			t.Errorf("detectLang(%q) = %q, want %q", path, got, want)
+		if got := lang.Detect(path, ""); got != want {
+			t.Errorf("lang.Detect(%q) = %q, want %q", path, got, want)
 		}
-	}
-	if got := detectLang("wf.cf", "dax"); got != "dax" {
-		t.Errorf("forced language ignored: %q", got)
 	}
 }
 
@@ -79,7 +78,7 @@ func TestBuildDriverLanguages(t *testing.T) {
 	traceFile := write("a.jsonl", `{"type":"task-end","taskId":1,"signature":"t","outputs":[{"path":"o","param":"out"}]}`)
 
 	for _, p := range []string{cf, daxFile, traceFile} {
-		d, err := buildDriver(p, detectLang(p, ""), nil)
+		d, _, err := buildDriver(p, "", nil)
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
@@ -87,10 +86,10 @@ func TestBuildDriverLanguages(t *testing.T) {
 			t.Fatalf("%s parse: %v", p, err)
 		}
 	}
-	if _, err := buildDriver(filepath.Join(dir, "missing.cf"), "cuneiform", nil); err == nil {
+	if _, _, err := buildDriver(filepath.Join(dir, "missing.cf"), "cuneiform", nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if _, err := buildDriver(cf, "klingon", nil); err == nil {
+	if _, _, err := buildDriver(cf, "klingon", nil); err == nil {
 		t.Fatal("unknown language accepted")
 	}
 }

@@ -1,0 +1,285 @@
+{
+  "$graph": [
+    {
+      "class": "Workflow",
+      "doc": "SNV calling with Bowtie 2, SAMtools, VarScan, and ANNOVAR (paper section 4.1)",
+      "id": "main",
+      "inputs": [
+        {
+          "default": [
+            {
+              "class": "File",
+              "location": "/reads/sample000/part00.fq"
+            },
+            {
+              "class": "File",
+              "location": "/reads/sample000/part01.fq"
+            },
+            {
+              "class": "File",
+              "location": "/reads/sample000/part02.fq"
+            },
+            {
+              "class": "File",
+              "location": "/reads/sample000/part03.fq"
+            },
+            {
+              "class": "File",
+              "location": "/reads/sample000/part04.fq"
+            },
+            {
+              "class": "File",
+              "location": "/reads/sample000/part05.fq"
+            },
+            {
+              "class": "File",
+              "location": "/reads/sample000/part06.fq"
+            },
+            {
+              "class": "File",
+              "location": "/reads/sample000/part07.fq"
+            }
+          ],
+          "id": "reads_s000",
+          "type": "File[]"
+        }
+      ],
+      "outputs": [
+        {
+          "id": "annotated_s000",
+          "outputSource": "annotate_s000/out",
+          "type": "File"
+        }
+      ],
+      "steps": [
+        {
+          "id": "align_s000",
+          "in": [
+            {
+              "id": "reads",
+              "source": "reads_s000"
+            }
+          ],
+          "out": [
+            "bam"
+          ],
+          "run": "#align",
+          "scatter": "reads"
+        },
+        {
+          "id": "sort_s000",
+          "in": [
+            {
+              "id": "bams",
+              "source": "align_s000/bam"
+            },
+            {
+              "default": "4",
+              "id": "nregions"
+            }
+          ],
+          "out": [
+            "regions"
+          ],
+          "run": "#sortscatter"
+        },
+        {
+          "id": "call_s000",
+          "in": [
+            {
+              "id": "region",
+              "source": "sort_s000/regions"
+            }
+          ],
+          "out": [
+            "vcf"
+          ],
+          "run": "#call",
+          "scatter": "region"
+        },
+        {
+          "id": "annotate_s000",
+          "in": [
+            {
+              "id": "vcfs",
+              "source": "call_s000/vcf"
+            }
+          ],
+          "out": [
+            "out"
+          ],
+          "run": "#annotate"
+        }
+      ]
+    },
+    {
+      "baseCommand": [
+        "bowtie2",
+        "-x",
+        "/ref/hg38.idx",
+        "-U",
+        "$reads",
+        "-S",
+        "$bam"
+      ],
+      "class": "CommandLineTool",
+      "hints": [
+        {
+          "class": "hiway:Profile",
+          "cpuSeconds": 3000,
+          "outSizeMB": {
+            "bam": 1228.8
+          }
+        }
+      ],
+      "id": "align",
+      "inputs": [
+        {
+          "id": "reads",
+          "type": "File"
+        }
+      ],
+      "outputs": [
+        {
+          "id": "bam",
+          "type": "File"
+        }
+      ],
+      "requirements": [
+        {
+          "class": "ResourceRequirement",
+          "coresMin": 8,
+          "ramMin": 6500
+        }
+      ]
+    },
+    {
+      "baseCommand": [
+        "samtools",
+        "sort",
+        "$bams",
+        "|",
+        "split-regions",
+        "--n",
+        "$nregions",
+        "--out-dir",
+        "$regions"
+      ],
+      "class": "CommandLineTool",
+      "hints": [
+        {
+          "class": "hiway:Profile",
+          "cpuSeconds": 2400,
+          "outCount": {
+            "regions": 4
+          },
+          "outSizeMB": {
+            "regions": 2211.84
+          }
+        }
+      ],
+      "id": "sortscatter",
+      "inputs": [
+        {
+          "id": "bams",
+          "type": "File[]"
+        },
+        {
+          "id": "nregions",
+          "type": "string"
+        }
+      ],
+      "outputs": [
+        {
+          "id": "regions",
+          "type": "File[]"
+        }
+      ],
+      "requirements": [
+        {
+          "class": "ResourceRequirement",
+          "coresMin": 4,
+          "ramMin": 4000
+        }
+      ]
+    },
+    {
+      "baseCommand": [
+        "varscan",
+        "mpileup2snp",
+        "$region",
+        "\u003e",
+        "$vcf"
+      ],
+      "class": "CommandLineTool",
+      "hints": [
+        {
+          "class": "hiway:Profile",
+          "cpuSeconds": 12000,
+          "outSizeMB": {
+            "vcf": 20
+          }
+        }
+      ],
+      "id": "call",
+      "inputs": [
+        {
+          "id": "region",
+          "type": "File"
+        }
+      ],
+      "outputs": [
+        {
+          "id": "vcf",
+          "type": "File"
+        }
+      ],
+      "requirements": [
+        {
+          "class": "ResourceRequirement",
+          "coresMin": 8,
+          "ramMin": 6500
+        }
+      ]
+    },
+    {
+      "baseCommand": [
+        "annovar",
+        "$vcfs",
+        "\u003e",
+        "$out"
+      ],
+      "class": "CommandLineTool",
+      "hints": [
+        {
+          "class": "hiway:Profile",
+          "cpuSeconds": 1600,
+          "outSizeMB": {
+            "out": 90
+          }
+        }
+      ],
+      "id": "annotate",
+      "inputs": [
+        {
+          "id": "vcfs",
+          "type": "File[]"
+        }
+      ],
+      "outputs": [
+        {
+          "id": "out",
+          "type": "File"
+        }
+      ],
+      "requirements": [
+        {
+          "class": "ResourceRequirement",
+          "coresMin": 2,
+          "ramMin": 3000
+        }
+      ]
+    }
+  ],
+  "cwlVersion": "v1.2"
+}

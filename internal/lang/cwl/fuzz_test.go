@@ -1,0 +1,25 @@
+package cwl
+
+import "testing"
+
+// FuzzParse throws arbitrary bytes at the CWL frontend: no input may panic,
+// whatever the JSON decoder makes of it. Seeds are the full-subset sample
+// workflow the unit tests use plus fragments around the parser's edges —
+// scatter, $graph resolution, map-form listings, and resource hints.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleCWL)
+	f.Add(`{"cwlVersion": "v1.2", "class": "CommandLineTool", "id": "t",
+	       "baseCommand": "go", "inputs": [], "outputs": [{"id": "out", "type": "File"}]}`)
+	f.Add(`{"cwlVersion": "v1.2", "$graph": [{"class": "Workflow", "id": "w",
+	       "steps": [{"id": "s", "run": "#missing", "out": []}]}]}`)
+	f.Add(`{"cwlVersion": "v1.2", "$graph": [{"class": "Workflow", "id": "w",
+	       "inputs": {"x": {"type": "File[]"}}, "steps": {}}]}`)
+	f.Add(`{"cwlVersion": "v1.2", "class": "CommandLineTool", "id": "t",
+	       "hints": [{"class": "hiway:Profile", "outCount": {"out": 99999999}}],
+	       "inputs": [], "outputs": [{"id": "out", "type": "File[]"}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"$graph": []}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = NewDriver("fuzz", src, Options{}).Parse()
+	})
+}

@@ -1,0 +1,97 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetectByExtension(t *testing.T) {
+	cases := map[string]string{
+		"wf.cf":        Cuneiform,
+		"wf.CUNEIFORM": Cuneiform,
+		"wf.dax":       DAX,
+		"wf.xml":       DAX,
+		"wf.ga":        Galaxy,
+		"wf.cwl":       CWL,
+		"run.jsonl":    Trace,
+		"run.trace":    Trace,
+	}
+	for path, want := range cases {
+		if got := Detect(path, "whatever"); got != want {
+			t.Errorf("Detect(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestDetectByContent(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`{"cwlVersion": "v1.2", "class": "CommandLineTool"}`, CWL},
+		{"cwlVersion: v1.2\nclass: Workflow\n", CWL},
+		{`<?xml version="1.0"?><adag name="x"></adag>`, DAX},
+		{`<adag name="x"></adag>`, DAX},
+		{`{"a_galaxy_workflow": "true", "steps": {}}`, Galaxy},
+		{`{"type":"task-end","task":1,"signature":"t"}`, Trace},
+		{`deftask t( out : ) in bash *{ true }* t();`, Cuneiform},
+		{``, Cuneiform},
+	}
+	for _, c := range cases {
+		if got := Detect("wf", c.src); got != c.want {
+			t.Errorf("Detect(content %.30q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestKnownAndRegistry(t *testing.T) {
+	names := Known()
+	if len(names) != 5 {
+		t.Fatalf("Known() = %v, want 5 languages", names)
+	}
+	for _, n := range names {
+		if !IsKnown(n) {
+			t.Errorf("IsKnown(%q) = false for a Known() entry", n)
+		}
+	}
+	if IsKnown("klingon") {
+		t.Error("IsKnown accepted an unregistered language")
+	}
+	if _, err := NewDriver("klingon", "w", "", nil); err == nil {
+		t.Error("NewDriver accepted an unregistered language")
+	} else if !strings.Contains(err.Error(), "cuneiform") {
+		t.Errorf("unknown-language error should list the registry, got %v", err)
+	}
+}
+
+// TestNewDriverParsesEveryLanguage exercises the registry end to end: a
+// minimal valid source per language must yield a driver whose Parse
+// succeeds.
+func TestNewDriverParsesEveryLanguage(t *testing.T) {
+	sources := map[string]string{
+		Cuneiform: "deftask t( out : ~x ) in bash *{ true }*\nt( x: \"1\" );",
+		Galaxy: `{"a_galaxy_workflow": "true", "name": "g", "steps": {
+		          "0": {"id": 0, "type": "data_input", "label": "reads", "inputs": [{"name": "reads"}], "outputs": []},
+		          "1": {"id": 1, "type": "tool", "tool_id": "t",
+		                "input_connections": {"in": {"id": 0, "output_name": "output"}},
+		                "outputs": [{"name": "o", "type": "txt"}]}}}`,
+		DAX:   `<adag name="x"><job id="J" name="t" runtime="1"><uses file="o" link="output"/></job></adag>`,
+		Trace: `{"type":"task-end","taskId":1,"signature":"t","outputs":[{"path":"o","param":"out"}]}`,
+		CWL: `{"cwlVersion": "v1.2", "class": "CommandLineTool", "id": "t",
+		      "baseCommand": "true",
+		      "inputs": [], "outputs": [{"id": "out", "type": "File"}]}`,
+	}
+	binds := map[string]string{"reads": "/data/r.fq"}
+	for language, src := range sources {
+		d, err := NewDriver(language, "w", src, binds)
+		if err != nil {
+			t.Fatalf("%s: NewDriver: %v", language, err)
+		}
+		if _, err := d.Parse(); err != nil {
+			t.Fatalf("%s: Parse: %v", language, err)
+		}
+		if got := d.Name(); got != "w" {
+			t.Errorf("%s: Name() = %q, want w", language, got)
+		}
+	}
+}

@@ -6,11 +6,9 @@ import (
 	"net/http"
 	"regexp"
 	"sort"
+	"strings"
 
-	"hiway/internal/lang/cuneiform"
-	"hiway/internal/lang/dax"
-	"hiway/internal/lang/galaxy"
-	"hiway/internal/lang/trace"
+	"hiway/internal/lang"
 	"hiway/internal/wf"
 	"hiway/internal/workloads"
 )
@@ -47,7 +45,9 @@ type SubmitRequest struct {
 	// becomes "<tenant>-<name>". Letters, digits, dot, underscore, dash.
 	Name string `json:"name"`
 	// Lang forces the frontend language for Source: cuneiform, dax,
-	// galaxy, or trace.
+	// galaxy, cwl, or trace. Empty Lang sniffs the source with the shared
+	// detector (CWL documents carry cwlVersion, DAX is XML, Galaxy exports
+	// are tagged JSON; the fallback is cuneiform).
 	Lang string `json:"lang,omitempty"`
 	// Source is the workflow text, parsed by the Lang frontend.
 	Source string `json:"source,omitempty"`
@@ -161,12 +161,8 @@ func (r *SubmitRequest) validate(tenants map[string]*TenantProfile) *apiError {
 	if hasSource == hasWorkload {
 		return errf(http.StatusBadRequest, "exactly one of source or workload must be set")
 	}
-	if hasSource {
-		switch r.Lang {
-		case "cuneiform", "dax", "galaxy", "trace":
-		default:
-			return errf(http.StatusBadRequest, "unknown lang %q (want cuneiform, dax, galaxy, or trace)", r.Lang)
-		}
+	if hasSource && r.Lang != "" && !lang.IsKnown(r.Lang) {
+		return errf(http.StatusBadRequest, "unknown lang %q (want %s)", r.Lang, strings.Join(lang.Known(), ", "))
 	}
 	if hasWorkload {
 		spec := *r.Workload
@@ -197,18 +193,15 @@ func (r *SubmitRequest) buildDriver() (wf.Driver, []workloads.Input, error) {
 		}
 		driver, inputs = d, ins
 	} else {
-		switch r.Lang {
-		case "cuneiform":
-			driver = cuneiform.NewDriver(r.Name, r.Source)
-		case "dax":
-			driver = dax.NewDriver(r.Name, r.Source, dax.Options{})
-		case "galaxy":
-			driver = galaxy.NewDriver(r.Name, r.Source, galaxy.Options{Inputs: r.Binds})
-		case "trace":
-			driver = trace.NewDriver(r.Name, r.Source)
-		default:
-			return nil, nil, fmt.Errorf("service: unknown lang %q", r.Lang)
+		language := r.Lang
+		if language == "" {
+			language = lang.Detect("", r.Source)
 		}
+		d, err := lang.NewDriver(language, r.Name, r.Source, r.Binds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: %v", err)
+		}
+		driver = d
 	}
 	for _, in := range r.Inputs {
 		inputs = append(inputs, workloads.Input{Path: in.Path, SizeMB: in.SizeMB})

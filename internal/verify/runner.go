@@ -11,6 +11,7 @@ import (
 	"hiway/internal/core"
 	"hiway/internal/scheduler"
 	"hiway/internal/sim"
+	"hiway/internal/wf"
 )
 
 // AllPolicies is the default differential matrix: every scheduling policy
@@ -55,6 +56,7 @@ func (o Options) policies() []string {
 // PolicyRun is the audited outcome of one scenario execution.
 type PolicyRun struct {
 	Policy      string         `json:"policy"`
+	Lang        string         `json:"lang,omitempty"` // portability runs: rendering language
 	Succeeded   bool           `json:"succeeded"`
 	Err         string         `json:"err,omitempty"`
 	MakespanSec float64        `json:"makespanSec"`
@@ -63,6 +65,35 @@ type PolicyRun struct {
 	Violations  []Violation    `json:"violations,omitempty"`
 	Recovered   int            `json:"recovered,omitempty"` // resume variant only
 	Executed    int            `json:"executed"`            // tasks run to completion
+
+	// Canonical and CanonOutputs are the path-independent outcome of a
+	// portability run (Lang != ""): the canonical lineage multiset and the
+	// canonicalized final outputs (see portability.go).
+	Canonical    map[string]int `json:"-"`
+	CanonOutputs []string       `json:"-"`
+}
+
+// capture folds a finished report into the run: completion multiset,
+// sorted outputs, the auditor's final verdict, and — for portability runs —
+// the canonical outcome.
+func (run *PolicyRun) capture(rep *core.Report, aud *Auditor) {
+	run.Succeeded = rep.Succeeded
+	if rep.Err != nil {
+		run.Err = rep.Err.Error()
+	}
+	run.MakespanSec = rep.MakespanSec
+	run.Executed = len(rep.Results)
+	for _, res := range rep.Results {
+		if res.Succeeded() {
+			run.Completed[structuralKey(res.Task.Name, res.Task.Inputs, res.Task.DeclaredPaths())]++
+		}
+	}
+	run.Outputs = append([]string(nil), rep.Outputs...)
+	sort.Strings(run.Outputs)
+	run.Violations = aud.FinalCheck(rep.Succeeded)
+	if run.Lang != "" {
+		run.Canonical, run.CanonOutputs = CanonicalOutcome(rep.Results, rep.Outputs)
+	}
 }
 
 // Result is the differential verdict for one scenario.
@@ -168,32 +199,27 @@ type runCtx struct {
 // runPolicy executes the scenario to quiescence under one policy and audits
 // the result.
 func runPolicy(sc *Scenario, policy string, tamper func(core.Env)) PolicyRun {
-	run := PolicyRun{Policy: policy, Completed: map[string]int{}}
+	return runPolicyDriver(sc, policy, tamper, sc.Driver, "")
+}
+
+// runPolicyDriver is runPolicy over an arbitrary driver factory: the spec
+// driver for the main differential matrix, or a language rendering for the
+// portability family (language tags the run and switches the capture to
+// canonical comparison).
+func runPolicyDriver(sc *Scenario, policy string, tamper func(core.Env), driver func() wf.Driver, language string) PolicyRun {
+	run := PolicyRun{Policy: policy, Lang: language, Completed: map[string]int{}}
 	ctx, err := sc.buildRun(policy, tamper)
 	if err != nil {
 		run.Err = err.Error()
 		return run
 	}
-	rep, err := core.Run(ctx.env, sc.Driver(), ctx.sched, ctx.cfg)
+	rep, err := core.Run(ctx.env, driver(), ctx.sched, ctx.cfg)
 	if err != nil {
 		run.Err = err.Error()
 		run.Violations = ctx.aud.Violations()
 		return run
 	}
-	run.Succeeded = rep.Succeeded
-	if rep.Err != nil {
-		run.Err = rep.Err.Error()
-	}
-	run.MakespanSec = rep.MakespanSec
-	run.Executed = len(rep.Results)
-	for _, res := range rep.Results {
-		if res.Succeeded() {
-			run.Completed[structuralKey(res.Task.Name, res.Task.Inputs, res.Task.DeclaredPaths())]++
-		}
-	}
-	run.Outputs = append([]string(nil), rep.Outputs...)
-	sort.Strings(run.Outputs)
-	run.Violations = ctx.aud.FinalCheck(rep.Succeeded)
+	run.capture(rep, ctx.aud)
 	return run
 }
 
@@ -203,14 +229,27 @@ func runPolicy(sc *Scenario, policy string, tamper func(core.Env)) PolicyRun {
 // re-executed zero completed tasks. The chaos plan instance spans both
 // incarnations (the injected world does not reset when the AM dies).
 func runResume(sc *Scenario, baseline, frac float64, tamper func(core.Env)) PolicyRun {
+	return runResumeDriver(sc, baseline, frac, tamper, sc.Driver, "")
+}
+
+// runResumeDriver is runResume over an arbitrary driver factory. The
+// factory is called once per AM incarnation, exactly like a real restart
+// re-parsing the workflow source. For the spec driver (language == ""),
+// declared output paths are stable across incarnations, so recovery must
+// re-execute zero completed tasks. A language rendering synthesizes paths
+// around process-local task IDs, so its second incarnation matches nothing
+// in provenance and legitimately re-executes the whole workflow — the
+// check for renderings is the canonical outcome of the final state, not
+// zero re-execution.
+func runResumeDriver(sc *Scenario, baseline, frac float64, tamper func(core.Env), driver func() wf.Driver, language string) PolicyRun {
 	const policy = scheduler.PolicyFCFS
-	run := PolicyRun{Policy: "resume", Completed: map[string]int{}}
+	run := PolicyRun{Policy: "resume", Lang: language, Completed: map[string]int{}}
 	ctx, err := sc.buildRun(policy, tamper)
 	if err != nil {
 		run.Err = err.Error()
 		return run
 	}
-	am, err := core.Launch(ctx.env, sc.Driver(), ctx.sched, ctx.cfg)
+	am, err := core.Launch(ctx.env, driver(), ctx.sched, ctx.cfg)
 	if err != nil {
 		run.Err = fmt.Sprintf("launch: %v", err)
 		return run
@@ -229,17 +268,7 @@ func runResume(sc *Scenario, baseline, frac float64, tamper func(core.Env)) Poli
 			run.Err = err.Error()
 			return run
 		}
-		run.Succeeded = rep.Succeeded
-		run.MakespanSec = rep.MakespanSec
-		run.Executed = len(rep.Results)
-		for _, res := range rep.Results {
-			if res.Succeeded() {
-				run.Completed[structuralKey(res.Task.Name, res.Task.Inputs, res.Task.DeclaredPaths())]++
-			}
-		}
-		run.Outputs = append([]string(nil), rep.Outputs...)
-		sort.Strings(run.Outputs)
-		run.Violations = ctx.aud.FinalCheck(rep.Succeeded)
+		run.capture(rep, ctx.aud)
 		return run
 	}
 
@@ -256,7 +285,7 @@ func runResume(sc *Scenario, baseline, frac float64, tamper func(core.Env)) Poli
 		run.Err = err.Error()
 		return run
 	}
-	am2, err := core.Resume(ctx.env, sc.Driver(), sched2, ctx.cfg, ctx.env.Prov.Store())
+	am2, err := core.Resume(ctx.env, driver(), sched2, ctx.cfg, ctx.env.Prov.Store())
 	if err != nil {
 		run.Err = fmt.Sprintf("resume: %v", err)
 		run.Violations = ctx.aud.Violations()
@@ -268,25 +297,13 @@ func runResume(sc *Scenario, baseline, frac float64, tamper func(core.Env)) Poli
 		run.Err = err.Error()
 		return run
 	}
-	run.Succeeded = rep.Succeeded
-	if rep.Err != nil {
-		run.Err = rep.Err.Error()
-	}
-	run.MakespanSec = rep.MakespanSec
 	run.Recovered = rep.Recovered
-	run.Executed = len(rep.Results)
-	for _, res := range rep.Results {
-		if res.Succeeded() {
-			run.Completed[structuralKey(res.Task.Name, res.Task.Inputs, res.Task.DeclaredPaths())]++
-		}
-	}
-	run.Outputs = append([]string(nil), rep.Outputs...)
-	sort.Strings(run.Outputs)
-	run.Violations = ctx.aud.FinalCheck(rep.Succeeded)
+	run.capture(rep, ctx.aud)
 
 	// Replay equivalence: recovery reconstructed exactly what had completed,
-	// and nothing completed was re-executed.
-	if run.Succeeded {
+	// and nothing completed was re-executed. Only spec drivers have stable
+	// paths for provenance recovery to match; renderings re-execute.
+	if run.Succeeded && language == "" {
 		if rep.Recovered != completedAtKill {
 			run.Violations = append(run.Violations, Violation{
 				TimeSec:   ctx.eng.Now(),
@@ -403,6 +420,12 @@ func CheckScenario(sc *Scenario, opts Options) *Result {
 			res.Failures = append(res.Failures,
 				fmt.Sprintf("resume: outputs %v differ from %s outputs %v", r.Outputs, baseline.Policy, baseline.Outputs))
 		}
+	}
+
+	if sc.Portability {
+		runs, fails := runPortability(sc, opts)
+		res.Runs = append(res.Runs, runs...)
+		res.Failures = append(res.Failures, fails...)
 	}
 	return res
 }

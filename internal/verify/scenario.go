@@ -82,6 +82,13 @@ type Scenario struct {
 	// resume variant, auditing the membership-safety and cost-conservation
 	// invariants through the churn.
 	Elastic *ElasticSpec `json:"elastic,omitempty"`
+
+	// Portability, when set, additionally renders the scenario's DAG as
+	// both a Cuneiform program and a CWL document, executes each rendering
+	// through its real frontend under the applicable policies plus
+	// kill/resume, and requires every run's canonical lineage outcome to
+	// equal the spec-derived expectation (see portability.go).
+	Portability bool `json:"portability,omitempty"`
 }
 
 // Iterative reports whether the scenario unfolds at run time, which static
@@ -266,7 +273,17 @@ func Generate(seed int64) *Scenario {
 	sc.genChaos(r)
 	sc.genService(r)
 	sc.genElastic(r)
+	sc.genPortability(r)
 	return sc
+}
+
+// genPortability opts about a quarter of all scenarios into the
+// differential cross-language family. It draws after every other family so
+// adding it did not perturb existing seeds. Every generated scenario is
+// renderable (one output per task, pooled identifier signatures), so no
+// shape gating is needed.
+func (s *Scenario) genPortability(r *rand.Rand) {
+	s.Portability = r.Intn(4) == 0
 }
 
 // genChaos composes a bounded fault plan. Only targeted rules with counts

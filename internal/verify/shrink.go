@@ -69,6 +69,18 @@ func Shrink(sc *Scenario, opts Options) ShrinkReport {
 		}
 	}
 
+	// 1d. Portability family gone? If the spec-driver matrix alone still
+	// fails, the reproducer sheds the cross-language runs; if only a
+	// rendering diverges, the flag survives and the reproducer stays a
+	// two-language case.
+	if cur.Portability {
+		cand := cur.Clone()
+		cand.Portability = false
+		if f := fails(cand); len(f) > 0 {
+			cur, last = cand, f
+		}
+	}
+
 	// 2. Shortest failing task prefix, by binary search. The search assumes
 	// prefix-monotonicity; when the failure is not monotone the final
 	// re-check below rejects a passing candidate and keeps the last known
