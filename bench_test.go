@@ -205,14 +205,18 @@ func BenchmarkScale(b *testing.B) {
 
 // BenchmarkServiceLoad runs the multi-tenant service tier up the arrival-rate
 // ladder — light load through saturation into overload (set
-// HIWAY_SCALE_FULL=1 for the overload rungs) — and writes the measurements
-// to BENCH_service.json. The figures of merit are goodput (which must
-// plateau, not collapse, at overload) and p99 queue wait (which admission
-// backpressure must keep bounded).
+// HIWAY_SCALE_FULL=1 for the overload rungs) — first memo-off, then the same
+// rungs again with the cluster-wide memo table on, and writes the
+// measurements to BENCH_service.json. The figures of merit are goodput
+// (which must plateau, not collapse, at overload), p99 queue wait (which
+// admission backpressure must keep bounded), and the goodput lift the memo
+// rungs earn from splicing repeated pipelines.
 func BenchmarkServiceLoad(b *testing.B) {
 	full := os.Getenv("HIWAY_SCALE_FULL") != ""
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ServiceSweep(experiments.ServiceSweepConfigs(full))
+		cfgs := experiments.ServiceSweepConfigs(full)
+		cfgs = append(cfgs, experiments.WithMemo(experiments.ServiceSweepConfigs(full))...)
+		res, err := experiments.ServiceSweep(cfgs)
 		if err != nil {
 			b.Fatal(err)
 		}

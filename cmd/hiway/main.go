@@ -122,24 +122,30 @@ func usage() {
   hiway inspect -w WORKFLOW [-lang L] [-bind name=path ...]
       analyze a static workflow's structure without running it
 
-  hiway prov (-trace FILE.jsonl | -db FILE.db)
-      query a provenance store: workflow, task, and node summaries
+  hiway prov (-trace FILE.jsonl | -db FILE.db) [-query Q]
+      query a provenance store: workflow, task, and node summaries, or one
+      targeted query with -query 'lineage PATH', 'diff RUN-A RUN-B', or
+      'memo-hits [RUN]'
 
   hiway verify [-seeds N] [-start N] [-policy all|P,P,...] [-out FILE.json]
-               [-repro FILE.json] [-no-shrink] [-portability] [-v]
+               [-repro FILE.json] [-no-shrink] [-portability] [-memo] [-v]
       property-based verification: run seeded random scenarios under every
       scheduling policy plus a kill/resume variant, auditing runtime
       invariants; a failing seed is minimized into a reproducer (TESTING.md);
       -portability forces the cross-language family so every seed is also
-      round-tripped through the Cuneiform and CWL frontends
+      round-tripped through the Cuneiform and CWL frontends; -memo forces
+      the memoization family (cold/warm/kill-resume memo runs checked
+      against the memo-off baseline)
 
   hiway load [-seed N] [-nodes N] [-duration SEC] [-rate X]
              [-max-concurrent N] [-max-queue N] [-retry-after SEC]
              [-retry-limit N] [-policy P] [-chaos SPEC] [-chaos-seed N]
-             [-metrics FILE.prom] [-ladder] [-full] [-json FILE.json]
+             [-metrics FILE.prom] [-ladder] [-full] [-json FILE.json] [-memo]
       multi-tenant service load: an open-loop tenant mix submits workflows
       through admission control onto one simulated cluster; -ladder sweeps
-      the arrival rate and emits the BENCH_service.json points
+      the arrival rate and emits the BENCH_service.json points; -memo shares
+      one cross-tenant memo table so repeated pipelines splice their
+      provenance-recorded outputs instead of re-executing
 
   hiway elastic [-seed N] [-duration SEC] [-rate X] [-autoscale P]
                 [-static-nodes N] [-min-nodes N] [-max-nodes N]
@@ -156,13 +162,15 @@ func usage() {
               [-retry-limit N] [-tenant SPEC ...] [-rate X]
               [-deterministic] [-seed N] [-duration SEC]
               [-prov FILE.jsonl] [-metrics FILE.prom] [-multiset FILE]
-              [-drain-timeout SEC]
+              [-drain-timeout SEC] [-memo]
       network service front-end: accept workflow submissions over HTTP
       (POST /v1/workflows), run each admitted workflow concurrently on its
       own simulated substrate, stream status and events, and drain
       gracefully on SIGINT/SIGTERM or POST /v1/drain; -deterministic
       replays the seeded tenant mix on a virtual clock through the same
-      handlers instead of listening (SERVICE.md)
+      handlers instead of listening; -memo shares one cross-tenant memo
+      table and exposes GET /v1/provenance for lineage, cross-run diff,
+      and memo-hit attribution queries (SERVICE.md)
 
 Supported languages: cuneiform (.cf), dax (.dax/.xml), galaxy (.ga), cwl (.cwl), trace (.jsonl)
 Scheduling policies: fcfs, dataaware (default), roundrobin, heft, adaptive
@@ -581,6 +589,7 @@ func runVerify(args []string) error {
 	verbose := fs.Bool("v", false, "print every seed's per-policy outcome, not just failures")
 	noShrink := fs.Bool("no-shrink", false, "report the first failing seed without minimizing it")
 	portability := fs.Bool("portability", false, "force the cross-language portability family on every seed (and on -repro)")
+	memoFamily := fs.Bool("memo", false, "force the memoization family on every seed (and on -repro)")
 	fs.Parse(args)
 
 	opts := verify.Options{}
@@ -617,6 +626,9 @@ func runVerify(args []string) error {
 		if *portability {
 			sc.Portability = true
 		}
+		if *memoFamily {
+			sc.Memo = true
+		}
 		res := verify.CheckScenario(sc, opts)
 		if !res.OK() {
 			report(sc, res)
@@ -630,6 +642,9 @@ func runVerify(args []string) error {
 		sc := verify.Generate(seed)
 		if *portability {
 			sc.Portability = true
+		}
+		if *memoFamily {
+			sc.Memo = true
 		}
 		res := verify.CheckScenario(sc, opts)
 		if res.OK() {
@@ -801,6 +816,7 @@ func runLoad(args []string) error {
 	ladder := fs.Bool("ladder", false, "sweep the arrival-rate ladder instead of a single run")
 	full := fs.Bool("full", false, "with -ladder: include the overload rungs (x2, x4)")
 	jsonPath := fs.String("json", "", "with -ladder: write the ladder points JSON to this file")
+	memoOn := fs.Bool("memo", false, "share a cluster-wide memo table across tenants: repeated tasks splice instead of executing")
 	fs.Parse(args)
 
 	cfg := experiments.ServiceLoadConfig{
@@ -815,6 +831,7 @@ func runLoad(args []string) error {
 		Policy:        *policy,
 		ChaosSpec:     *chaosSpec,
 		ChaosSeed:     *chaosSeed,
+		Memo:          *memoOn,
 	}
 
 	if *ladder {
@@ -848,6 +865,9 @@ func runLoad(args []string) error {
 	if cfg.ChaosSpec != "" {
 		fmt.Println("chaos:", cfg.ChaosSpec)
 	}
+	if cfg.Memo {
+		fmt.Println("memo: cross-tenant table enabled")
+	}
 	fmt.Print(run.Render())
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
@@ -867,7 +887,7 @@ func runLoad(args []string) error {
 }
 
 // parseTenantProfiles decodes repeated -tenant flags of the form
-// name[,weight=N][,containers=N][,inflight=N][,rate=R][,burst=N].
+// name[,weight=N][,containers=N][,inflight=N][,rate=R][,burst=N][,memo=off].
 func parseTenantProfiles(specs []string) ([]service.TenantProfile, error) {
 	out := make([]service.TenantProfile, 0, len(specs))
 	for _, spec := range specs {
@@ -893,8 +913,17 @@ func parseTenantProfiles(specs []string) ([]service.TenantProfile, error) {
 				p.RatePerSec, err = strconv.ParseFloat(v, 64)
 			case "burst":
 				p.Burst, err = strconv.Atoi(v)
+			case "memo":
+				switch v {
+				case "off":
+					p.MemoOptOut = true
+				case "on":
+					p.MemoOptOut = false
+				default:
+					err = fmt.Errorf("want on or off")
+				}
 			default:
-				return nil, fmt.Errorf("bad -tenant field %q (want weight, containers, inflight, rate, or burst)", k)
+				return nil, fmt.Errorf("bad -tenant field %q (want weight, containers, inflight, rate, burst, or memo)", k)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("bad -tenant field %q: %v", kv, err)
@@ -919,7 +948,7 @@ func runServe(args []string) error {
 	retryAfter := fs.Float64("retry-after", 5, "Retry-After hint on 429 responses, in seconds")
 	retryLimit := fs.Int("retry-limit", 1, "deterministic mode: client retries after rejection before dropping")
 	var tenants multiFlag
-	fs.Var(&tenants, "tenant", "tenant profile 'name[,weight=N][,containers=N][,inflight=N][,rate=R][,burst=N]' (repeatable; default: built-in mix)")
+	fs.Var(&tenants, "tenant", "tenant profile 'name[,weight=N][,containers=N][,inflight=N][,rate=R][,burst=N][,memo=off]' (repeatable; default: built-in mix)")
 	rate := fs.Float64("rate", 1, "rate multiplier over the built-in tenant mix (when no -tenant is given)")
 	det := fs.Bool("deterministic", false, "seeded virtual-clock replay through the same handlers instead of listening")
 	seed := fs.Int64("seed", 1, "deterministic mode: arrival seed")
@@ -928,6 +957,7 @@ func runServe(args []string) error {
 	metricsPath := fs.String("metrics", "", "write a Prometheus metrics snapshot to this file at drain")
 	multisetPath := fs.String("multiset", "", "write the completed-task multiset to this file at drain")
 	drainTimeout := fs.Float64("drain-timeout", 120, "seconds to wait for in-flight runs at shutdown before exiting anyway")
+	memoOn := fs.Bool("memo", false, "share a cluster-wide memo table across tenants: repeated submissions splice instead of executing")
 	fs.Parse(args)
 
 	profiles := experiments.ServiceTenantMix(*rate)
@@ -946,6 +976,7 @@ func runServe(args []string) error {
 		RetryAfterSec: *retryAfter,
 		RetryLimit:    *retryLimit,
 		Deterministic: *det,
+		Memo:          *memoOn,
 	}, profiles)
 	if err != nil {
 		return err
@@ -1038,6 +1069,7 @@ func runProv(args []string) error {
 	fs := flag.NewFlagSet("prov", flag.ExitOnError)
 	tracePath := fs.String("trace", "", "JSONL trace file")
 	dbPath := fs.String("db", "", "provdb database file")
+	query := fs.String("query", "", "run one query instead of the summaries: 'lineage PATH', 'diff RUN-A RUN-B', or 'memo-hits [RUN]'")
 	fs.Parse(args)
 	var store provenance.Store
 	switch {
@@ -1068,6 +1100,19 @@ func runProv(args []string) error {
 		store = provenance.NewDBStore(db)
 	default:
 		return fmt.Errorf("missing -trace or -db")
+	}
+
+	if *query != "" {
+		q, err := provenance.ParseQuery(*query)
+		if err != nil {
+			return err
+		}
+		out, err := provenance.RunQuery(store, q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
 	}
 
 	wfs, err := provenance.SummarizeWorkflows(store)

@@ -9,6 +9,7 @@ import (
 	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/hdfs"
+	"hiway/internal/memo"
 	"hiway/internal/obs"
 	"hiway/internal/provenance"
 	"hiway/internal/scheduler"
@@ -102,6 +103,18 @@ type Config struct {
 	// state properties on every event. Nil disables auditing entirely.
 	Audit AuditSink
 
+	// Memo, if set, is the cluster-wide memo table: a submitted task whose
+	// canonical key (signature, container profile, canonical input set,
+	// declared outputs) hits skips execution entirely and splices the
+	// recorded outputs; successful executions matching their declaration
+	// commit entries for later runs. Nil disables memoization.
+	Memo *memo.Table
+
+	// MemoPrefix is the run-scoped staging prefix stripped from paths when
+	// deriving memo keys, so tenant- or run-private staging roots do not
+	// fragment the cross-tenant table.
+	MemoPrefix string
+
 	// OnTerminal, if set, fires exactly once when the AM terminates with a
 	// report (success or failure), after all containers are released and the
 	// application is finished. Kill does not fire it (a killed AM leaves no
@@ -169,6 +182,10 @@ type Report struct {
 	Recovered   int // tasks reconstructed from provenance by Resume
 	TimedOut    int // attempts that hit their deadline
 	Speculative int // speculative duplicate attempts launched
+
+	// Memoized counts tasks completed by memo-table splice instead of
+	// execution.
+	Memoized int
 }
 
 // attempt is one container execution of a task. A task has one live attempt
@@ -215,6 +232,12 @@ type AM struct {
 	timedOut    int
 	speculative int
 
+	// memoization state (see memo.go)
+	memoIDs        map[string]string // produced path → canonical identity
+	memoKeys       map[int64]string  // task ID → derived memo key
+	memoized       int               // tasks spliced from the memo table
+	pendingSplices int               // hits scheduled but not yet spliced
+
 	start    float64
 	finished bool
 	killed   bool
@@ -252,6 +275,8 @@ func newAM(env Env, driver wf.Driver, sched scheduler.Scheduler, cfg Config) (*A
 		retries:    make(map[int64]int),
 		excluded:   make(map[int64]map[string]bool),
 		taskSpans:  make(map[int64]obs.SpanID),
+		memoIDs:    make(map[string]string),
+		memoKeys:   make(map[int64]string),
 	}
 	am.tr = env.Obs.T()
 	m := env.Obs.M()
@@ -608,6 +633,9 @@ func (am *AM) submit(t *wf.Task) {
 	}
 	if am.cfg.Audit != nil {
 		am.cfg.Audit.OnTaskSubmitted(am.env.Cluster.Engine.Now(), t)
+	}
+	if am.tryMemoHit(t) {
+		return
 	}
 	am.sched.OnTaskReady(t)
 	am.requestContainer(t)
@@ -1070,6 +1098,7 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 		for _, sib := range append([]*attempt(nil), am.attempts[t.ID]...) {
 			am.cancelAttempt(sib, "superseded: a duplicate attempt finished first")
 		}
+		am.memoCommit(a.res)
 		am.results = append(am.results, a.res)
 		next, err := am.driver.OnTaskComplete(a.res)
 		if err != nil {
@@ -1128,10 +1157,10 @@ func (am *AM) onAttemptFinished(a *attempt, ok bool) {
 	am.requestContainer(t)
 }
 
-// checkStalled fails the workflow if nothing is running, queued, or
-// requested while the driver still expects progress.
+// checkStalled fails the workflow if nothing is running, queued, requested,
+// or awaiting a memo splice while the driver still expects progress.
 func (am *AM) checkStalled() {
-	if len(am.attempts) == 0 && am.sched.Queued() == 0 && am.app.PendingRequests() == 0 {
+	if len(am.attempts) == 0 && am.sched.Queued() == 0 && am.app.PendingRequests() == 0 && am.pendingSplices == 0 {
 		am.finish(fmt.Errorf("core: workflow %s stalled with %d tasks finished", am.driver.Name(), len(am.results)))
 	}
 }
@@ -1158,6 +1187,7 @@ func (am *AM) finish(err error) {
 		Recovered:    am.recovered,
 		TimedOut:     am.timedOut,
 		Speculative:  am.speculative,
+		Memoized:     am.memoized,
 	}
 	if err == nil {
 		am.report.Outputs = am.driver.Outputs()

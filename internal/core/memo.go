@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+
+	"hiway/internal/memo"
+	"hiway/internal/provenance"
+	"hiway/internal/wf"
+)
+
+// This file integrates the cluster-wide memo table (internal/memo) into the
+// AM's task lifecycle. At submit time each task derives a canonical memo
+// key; a hit short-circuits execution entirely — the recorded outputs are
+// spliced into HDFS and the driver sees a synthesized completion with no
+// attempt, no node, and no simulated time spent. Successful executions
+// whose produced outputs exactly match their declaration commit entries, so
+// later runs (any tenant, unless opted out) can skip them.
+
+// memoEnabled reports whether this AM participates in memoization at all.
+func (am *AM) memoEnabled() bool {
+	return am.cfg.Memo != nil && !am.cfg.Memo.OptedOut(am.cfg.Tenant)
+}
+
+// memoCanon strips the run-scoped staging prefix from a path, so the same
+// pipeline submitted under /svc/tenantA/w003 and /svc/tenantB/w017 derives
+// identical keys.
+func (am *AM) memoCanon(path string) string {
+	if am.cfg.MemoPrefix != "" {
+		return strings.TrimPrefix(path, am.cfg.MemoPrefix)
+	}
+	return path
+}
+
+// inputIdentity resolves one input path to its canonical identity: the
+// producer-derived identity when a task of this run produced it, else the
+// staged identity (canonical path + size) of the file in HDFS. ok is false
+// when the file is unknown, which disables memoization for the consumer.
+func (am *AM) inputIdentity(path string) (string, bool) {
+	if id, ok := am.memoIDs[path]; ok {
+		return id, true
+	}
+	f, ok := am.env.FS.Stat(path)
+	if !ok {
+		return "", false
+	}
+	return memo.StagedIdentity(am.memoCanon(path), f.SizeMB), true
+}
+
+// memoKey derives the canonical memo key for a task: signature, container
+// profile, canonical input identities, and declared outputs. ok is false
+// when any input cannot be identified; such tasks execute normally.
+func (am *AM) memoKey(t *wf.Task) (string, bool) {
+	res := am.containerResource(t)
+	k := memo.Key{
+		Sig:     t.Name,
+		Profile: memo.Profile{VCores: res.VCores, MemMB: res.MemMB},
+	}
+	for _, in := range t.Inputs {
+		id, ok := am.inputIdentity(in)
+		if !ok {
+			return "", false
+		}
+		k.Inputs = append(k.Inputs, id)
+	}
+	for _, fi := range t.DeclaredOutputs() {
+		k.Outputs = append(k.Outputs, memo.OutputID{Path: am.memoCanon(fi.Path), SizeMB: fi.SizeMB})
+	}
+	return k.Encode(), true
+}
+
+// tryMemoHit consults the memo table for a freshly submitted task. On a hit
+// the splice is deferred through the engine (delay 0) so deep chains of
+// hitting tasks unwind iteratively rather than recursing through submit;
+// pendingSplices keeps checkStalled honest in the gap. The derived key is
+// remembered either way for the commit after a real execution.
+func (am *AM) tryMemoHit(t *wf.Task) bool {
+	if !am.memoEnabled() {
+		return false
+	}
+	key, ok := am.memoKey(t)
+	if !ok {
+		return false
+	}
+	am.memoKeys[t.ID] = key
+	entry, ok := am.cfg.Memo.Lookup(key)
+	if !ok {
+		return false
+	}
+	am.pendingSplices++
+	am.env.Cluster.Engine.ScheduleEphemeral(0, func() { am.spliceMemoHit(t, key, entry) })
+	return true
+}
+
+// registerProducedIdentities binds each produced file to its
+// producer-derived identity, so downstream tasks key on "output #i of task
+// <key>" — equal across runs and tenants — rather than on raw paths.
+func (am *AM) registerProducedIdentities(key string, t *wf.Task, outputs map[string][]wf.FileInfo) {
+	for _, param := range t.OutputParams {
+		for idx, fi := range outputs[param] {
+			am.memoIDs[fi.Path] = memo.ProducedIdentity(key, param, idx)
+		}
+	}
+}
+
+// spliceMemoHit completes a task from the memo table: the declared outputs
+// are registered in HDFS as externally materialized files (no simulated
+// I/O — they come from the provenance store, not a worker), a result with
+// no node and no duration is accepted, and the task-end provenance event
+// carries the memo attribution.
+func (am *AM) spliceMemoHit(t *wf.Task, key string, e memo.Entry) {
+	am.pendingSplices--
+	if am.finished || am.completed[t.ID] {
+		return
+	}
+	now := am.env.Cluster.Engine.Now()
+	outs := make(map[string][]wf.FileInfo, len(t.OutputParams))
+	for _, param := range t.OutputParams {
+		for _, fi := range t.Declared[param] {
+			am.env.FS.PutExternal(fi.Path, fi.SizeMB)
+			outs[param] = append(outs[param], fi)
+		}
+	}
+	res := &wf.TaskResult{
+		Task:    t,
+		Start:   now,
+		End:     now,
+		Outputs: outs,
+	}
+	am.completed[t.ID] = true
+	am.completedC.Inc()
+	am.memoized++
+	if am.cfg.Audit != nil {
+		am.cfg.Audit.OnTaskCompleted(now, t, "")
+	}
+	if ts, open := am.taskSpans[t.ID]; open {
+		am.tr.Arg(ts, "memo", "hit")
+		am.tr.End(ts)
+		delete(am.taskSpans, t.ID)
+	}
+	am.provMemoHit(res, e)
+	am.results = append(am.results, res)
+	am.registerProducedIdentities(key, t, outs)
+	next, err := am.driver.OnTaskComplete(res)
+	if err != nil {
+		am.finish(err)
+		return
+	}
+	for _, nt := range next {
+		am.submit(nt)
+	}
+	if am.driver.Done() {
+		am.finish(nil)
+		return
+	}
+	am.checkStalled()
+}
+
+// memoCommit runs after a real execution succeeded: produced files get
+// producer identities, and — when the outcome exactly matches the
+// declaration, so replaying the declaration reproduces it — an entry is
+// committed to the table. Dynamic outcomes (aggregate outputs that differ
+// from the declaration) are never memoized.
+func (am *AM) memoCommit(res *wf.TaskResult) {
+	if !am.memoEnabled() {
+		return
+	}
+	t := res.Task
+	key, ok := am.memoKeys[t.ID]
+	if !ok {
+		return
+	}
+	am.registerProducedIdentities(key, t, res.Outputs)
+	if !outcomeMatchesDeclaration(t, res.Outputs) {
+		return
+	}
+	_ = am.cfg.Memo.Commit(key, memo.Entry{
+		SourceWF:     am.cfg.WorkflowID,
+		SourceTenant: am.cfg.Tenant,
+		CPUSeconds:   t.CPUSeconds,
+		DurationSec:  res.End - res.Start,
+	})
+}
+
+// outcomeMatchesDeclaration reports whether a result produced exactly the
+// declared files (per parameter, in order, path and size) — the condition
+// under which a memo hit can splice the declaration in place of execution.
+func outcomeMatchesDeclaration(t *wf.Task, outputs map[string][]wf.FileInfo) bool {
+	for _, param := range t.OutputParams {
+		decl := t.Declared[param]
+		got := outputs[param]
+		if len(decl) != len(got) {
+			return false
+		}
+		for i := range decl {
+			if decl[i] != got[i] {
+				return false
+			}
+		}
+	}
+	return len(outputs) <= len(t.OutputParams)
+}
+
+// provMemoHit records the task-end event for a spliced completion, marked
+// with the memo attribution the provenance queries surface.
+func (am *AM) provMemoHit(res *wf.TaskResult, e memo.Entry) {
+	if am.env.Prov == nil {
+		return
+	}
+	sizes := make(map[string]float64, len(res.Task.Inputs))
+	for _, in := range res.Task.Inputs {
+		if f, ok := am.env.FS.Stat(in); ok {
+			sizes[in] = f.SizeMB
+		}
+	}
+	ev := provenance.TaskEndEvent(am.cfg.WorkflowID, am.driver.Name(), res, sizes)
+	ev.MemoHit = true
+	ev.MemoSource = e.SourceWF
+	_ = am.env.Prov.Record(ev)
+}

@@ -56,6 +56,8 @@ func TestLoadSoakByteDeterminism(t *testing.T) {
 	}{
 		{"plain", nil},
 		{"chaos", []string{"-chaos", "crashrate=0.1;kill=node-03@300;slow=node-02@120:1", "-chaos-seed", "5"}},
+		{"memo", []string{"-memo"}},
+		{"memo-chaos", []string{"-memo", "-chaos", "crashrate=0.1;kill=node-03@300;slow=node-02@120:1", "-chaos-seed", "5"}},
 	}
 	for _, tc := range cases {
 		out1, m1 := run(filepath.Join(dir, tc.name+"-1"), tc.extra...)
@@ -74,6 +76,20 @@ func TestLoadSoakByteDeterminism(t *testing.T) {
 		}
 		if !bytes.Contains(out1, []byte("rejected")) {
 			t.Errorf("%s: stdout lacks rejection accounting", tc.name)
+		}
+		memoOn := false
+		for _, a := range tc.extra {
+			memoOn = memoOn || a == "-memo"
+		}
+		if memoOn {
+			if !bytes.Contains(out1, []byte("memo: ")) {
+				t.Errorf("%s: stdout lacks the memo splice summary:\n%s", tc.name, out1)
+			}
+			if !bytes.Contains(m1, []byte("hiway_memo_hits_total")) {
+				t.Errorf("%s: metrics snapshot lacks hiway_memo_* series", tc.name)
+			}
+		} else if bytes.Contains(m1, []byte("hiway_memo_")) {
+			t.Errorf("%s: memo-off run leaked hiway_memo_* series into metrics", tc.name)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/hdfs"
+	"hiway/internal/memo"
 	"hiway/internal/obs"
 	"hiway/internal/recipes"
 	"hiway/internal/scheduler"
@@ -33,6 +34,11 @@ type ServiceLoadConfig struct {
 
 	ChaosSpec string // optional chaos plan (chaos.Parse DSL)
 	ChaosSeed int64  // seed for chaos rate draws; default 1
+
+	// Memo shares one cluster-wide memo table across all workflows of the
+	// run: repeated submissions of a tenant's pipeline splice completed
+	// tasks instead of re-executing them.
+	Memo bool
 
 	WithObs bool // build the observability layer (metrics snapshot)
 }
@@ -109,6 +115,14 @@ type ServicePoint struct {
 	E2EP50Sec       float64 `json:"e2eP50Sec"`
 	E2EP99Sec       float64 `json:"e2eP99Sec"`
 
+	// Memoization columns, present only on memo-enabled rungs (omitempty
+	// keeps memo-off rows byte-identical to a memo-less build).
+	Memo            bool    `json:"memo,omitempty"`
+	MemoizedTasks   int     `json:"memoizedTasks,omitempty"`
+	MemoHits        int64   `json:"memoHits,omitempty"`
+	MemoHitRate     float64 `json:"memoHitRate,omitempty"`
+	MemoCPUSavedSec float64 `json:"memoCPUSavedSec,omitempty"`
+
 	WallSec float64 `json:"wallSec"`
 }
 
@@ -172,6 +186,9 @@ func ServiceLoad(cfg ServiceLoadConfig) (*ServiceRun, error) {
 		plan.Arm(e.eng, e.RM, e.FS, e.Cluster)
 		svcCfg.Chaos = plan
 	}
+	if cfg.Memo {
+		svcCfg.Memo = memo.New(0)
+	}
 	svc, err := service.New(e.eng, e.Env, svcCfg, mix)
 	if err != nil {
 		return nil, err
@@ -210,6 +227,15 @@ func ServiceLoad(cfg ServiceLoadConfig) (*ServiceRun, error) {
 
 		WallSec: wall,
 	}
+	if cfg.Memo {
+		pt.Memo = true
+		pt.MemoizedTasks = st.MemoizedTasks
+		pt.MemoHits = st.MemoHits
+		if st.MemoLookups > 0 {
+			pt.MemoHitRate = float64(st.MemoHits) / float64(st.MemoLookups)
+		}
+		pt.MemoCPUSavedSec = st.MemoCPUSavedSec
+	}
 	return &ServiceRun{Point: pt, Stats: st, Accounts: svc.Accounts(), Obs: o}, nil
 }
 
@@ -220,10 +246,15 @@ func (r *ServiceRun) Render() string {
 	st := r.Stats
 	out := fmt.Sprintf("submitted %d  admitted %d  succeeded %d  failed %d  rejected %d  dropped %d\n",
 		st.Submitted, st.Admitted, st.Succeeded, st.Failed, st.Rejections, st.Dropped)
-	out += fmt.Sprintf("goodput %.1f/h  rejection-rate %.3f  queue-wait p50 %.1fs p99 %.1fs max %.1fs  e2e p50 %.1fs p99 %.1fs\n\n",
+	out += fmt.Sprintf("goodput %.1f/h  rejection-rate %.3f  queue-wait p50 %.1fs p99 %.1fs max %.1fs  e2e p50 %.1fs p99 %.1fs\n",
 		st.GoodputPerHour, st.RejectionRate,
 		st.QueueWaitP50Sec, st.QueueWaitP99Sec, st.QueueWaitMaxSec,
 		st.E2EP50Sec, st.E2EP99Sec)
+	if r.Point.Memo {
+		out += fmt.Sprintf("memo: %d tasks spliced, %d/%d lookups hit, %.1f cpu-seconds saved\n",
+			st.MemoizedTasks, st.MemoHits, st.MemoLookups, st.MemoCPUSavedSec)
+	}
+	out += "\n"
 
 	names := make([]string, 0, len(st.Tenants))
 	for n := range st.Tenants {
@@ -288,6 +319,19 @@ func ServiceSweepConfigs(full bool) []ServiceLoadConfig {
 	return cfgs
 }
 
+// WithMemo returns a copy of the configs with the shared memo table enabled
+// on each, for appending memo-on rungs after the memo-off ladder: the
+// memo-off rows stay untouched and the paired rungs differ only in the Memo
+// bit.
+func WithMemo(cfgs []ServiceLoadConfig) []ServiceLoadConfig {
+	out := make([]ServiceLoadConfig, len(cfgs))
+	for i, c := range cfgs {
+		c.Memo = true
+		out[i] = c
+	}
+	return out
+}
+
 // ServiceSweep runs the ladder.
 func ServiceSweep(cfgs []ServiceLoadConfig) (*ServiceResult, error) {
 	res := &ServiceResult{}
@@ -311,6 +355,10 @@ func (r *ServiceResult) JSON() []byte {
 func (r *ServiceResult) Render() string {
 	rows := make([][]string, 0, len(r.Points))
 	for _, p := range r.Points {
+		memoCol := "off"
+		if p.Memo {
+			memoCol = fmt.Sprintf("%d hits", p.MemoHits)
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%.2g", p.RateX), fmt.Sprint(p.Nodes),
 			fmt.Sprint(p.Submitted), fmt.Sprint(p.Admitted), fmt.Sprint(p.Succeeded),
@@ -319,11 +367,12 @@ func (r *ServiceResult) Render() string {
 			fmt.Sprintf("%.3f", p.RejectionRate),
 			fmt.Sprintf("%.1f", p.QueueWaitP99Sec),
 			fmt.Sprintf("%.1f", p.E2EP99Sec),
+			memoCol,
 			fmt.Sprintf("%.3f", p.WallSec),
 		})
 	}
 	return table(
-		[]string{"rate-x", "nodes", "submitted", "admitted", "ok", "rejected", "dropped", "goodput/h", "rej-rate", "p99-wait", "p99-e2e", "wall-s"},
+		[]string{"rate-x", "nodes", "submitted", "admitted", "ok", "rejected", "dropped", "goodput/h", "rej-rate", "p99-wait", "p99-e2e", "memo", "wall-s"},
 		rows,
 	)
 }

@@ -1,0 +1,107 @@
+package memo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestAdversarialKeySeparation is the differential collision guard for the
+// b468fe5 class of bug (recovery keys that ignored outputs let one fan-out
+// branch steal another's completion). A seeded adversarial generator emits
+// families of tasks sharing signature and canonical inputs while varying
+// exactly one identity dimension — container profile, output arity, output
+// paths, or output sizes — and every variation must produce a distinct key,
+// while re-deriving the same task must reproduce the same key.
+func TestAdversarialKeySeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := func(fam int) Key {
+		nIn := 1 + rng.Intn(3)
+		ins := make([]string, nIn)
+		for i := range ins {
+			ins[i] = StagedIdentity(fmt.Sprintf("/data/f%d-%d.dat", fam, i), float64(8+rng.Intn(64)))
+		}
+		return Key{
+			Sig:     fmt.Sprintf("sig%d", fam%4),
+			Profile: Profile{VCores: 1 + rng.Intn(4), MemMB: 1024 * (1 + rng.Intn(4))},
+			Inputs:  ins,
+			Outputs: []OutputID{{Path: fmt.Sprintf("/wf/f%d.dat", fam), SizeMB: float64(8 + rng.Intn(64))}},
+		}
+	}
+	seen := map[string]string{} // encoded key → description
+	record := func(k Key, desc string) {
+		enc := k.Encode()
+		if prev, ok := seen[enc]; ok {
+			t.Fatalf("key collision between %q and %q:\n%s", prev, desc, enc)
+		}
+		seen[enc] = desc
+		// Determinism: re-encoding an equal key is byte-identical.
+		if again := k.Encode(); again != enc {
+			t.Fatalf("%s: Encode is not deterministic:\n%s\n%s", desc, enc, again)
+		}
+	}
+	for fam := 0; fam < 64; fam++ {
+		k := base(fam)
+		record(k, fmt.Sprintf("fam%d/base", fam))
+
+		// Same signature, same inputs, different container profile.
+		p := k
+		p.Profile = Profile{VCores: k.Profile.VCores + 1, MemMB: k.Profile.MemMB}
+		record(p, fmt.Sprintf("fam%d/vcores", fam))
+		m := k
+		m.Profile = Profile{VCores: k.Profile.VCores, MemMB: k.Profile.MemMB + 512}
+		record(m, fmt.Sprintf("fam%d/memMB", fam))
+
+		// Same signature, same inputs, different output arity.
+		a := k
+		a.Outputs = append(append([]OutputID(nil), k.Outputs...),
+			OutputID{Path: fmt.Sprintf("/wf/f%d-extra.dat", fam), SizeMB: 4})
+		record(a, fmt.Sprintf("fam%d/arity", fam))
+
+		// Same arity, different output path.
+		op := k
+		op.Outputs = []OutputID{{Path: k.Outputs[0].Path + ".alt", SizeMB: k.Outputs[0].SizeMB}}
+		record(op, fmt.Sprintf("fam%d/outpath", fam))
+
+		// Same arity and path, different declared size.
+		os := k
+		os.Outputs = []OutputID{{Path: k.Outputs[0].Path, SizeMB: k.Outputs[0].SizeMB + 1}}
+		record(os, fmt.Sprintf("fam%d/outsize", fam))
+
+		// Different input identity (same canonical path, different size —
+		// a re-staged file with other content must not alias).
+		in := k
+		in.Inputs = append([]string(nil), k.Inputs...)
+		in.Inputs[0] += "x"
+		record(in, fmt.Sprintf("fam%d/input", fam))
+	}
+}
+
+// TestTableSeparatesCollidingCommits drives the same families through a
+// live table: a commit under one variant must never satisfy a lookup under
+// another.
+func TestTableSeparatesCollidingCommits(t *testing.T) {
+	tab := New(0)
+	k := Key{
+		Sig:     "call",
+		Profile: Profile{VCores: 2, MemMB: 2048},
+		Inputs:  []string{StagedIdentity("/data/sample.dat", 512)},
+		Outputs: []OutputID{{Path: "/wf/calls.vcf", SizeMB: 32}},
+	}
+	if err := tab.Commit(k.Encode(), Entry{SourceWF: "wf-a", CPUSeconds: 100}); err != nil {
+		t.Fatal(err)
+	}
+	bigger := k
+	bigger.Profile.VCores = 8
+	if _, ok := tab.Lookup(bigger.Encode()); ok {
+		t.Fatal("lookup with a different container profile hit")
+	}
+	twoOut := k
+	twoOut.Outputs = append(append([]OutputID(nil), k.Outputs...), OutputID{Path: "/wf/calls.idx", SizeMB: 1})
+	if _, ok := tab.Lookup(twoOut.Encode()); ok {
+		t.Fatal("lookup with a different output arity hit")
+	}
+	if _, ok := tab.Lookup(k.Encode()); !ok {
+		t.Fatal("identical re-derivation missed")
+	}
+}

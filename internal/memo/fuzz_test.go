@@ -1,0 +1,76 @@
+package memo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzMemoKey fuzzes both directions of the canonical key serialization:
+// a key built from arbitrary components must round-trip exactly through
+// Encode/ParseKey, and ParseKey must never panic on arbitrary input (the
+// raw component doubles as a hostile serialized key).
+func FuzzMemoKey(f *testing.F) {
+	f.Add("align", 2, 4096, "s:/data/in.dat:64", "/wf/t000.dat", 8.0, "m1|sig|1x2||")
+	f.Add("we|ird,sig", 1, 1024, "p:m1|x|1x1||#out#0", "/o|u,t", 1.5, "m1|sig|1x2|a,b|c:1,d:2")
+	f.Add("", 0, 0, "", "", 0.0, "%zz|||||")
+	f.Add("sig\nwith\nnewlines", 16, 65536, "s:p%25ath:1", "out:colon", 1e-9, "m1|s|1x1|%")
+	f.Fuzz(func(t *testing.T, sig string, vcores, memMB int, input, outPath string, outSize float64, raw string) {
+		// Direction 1: hostile input never panics the parser.
+		if k, err := ParseKey(raw); err == nil {
+			// A successfully parsed key re-encodes to something that parses
+			// back equal once normalized (Encode canonicalizes ordering).
+			k2, err := ParseKey(k.Encode())
+			if err != nil {
+				t.Fatalf("re-encoded key does not parse: %v", err)
+			}
+			k.Normalize()
+			if !keysEquivalent(k, k2) {
+				t.Fatalf("parse/encode/parse diverged:\n%+v\n%+v", k, k2)
+			}
+		}
+
+		// Direction 2: constructed keys round-trip exactly.
+		if math.IsNaN(outSize) || math.IsInf(outSize, 0) {
+			return // sizes of real files are finite
+		}
+		k := Key{
+			Sig:     sig,
+			Profile: Profile{VCores: vcores, MemMB: memMB},
+			Inputs:  []string{input},
+			Outputs: []OutputID{{Path: outPath, SizeMB: outSize}},
+		}
+		got, err := ParseKey(k.Encode())
+		if err != nil {
+			t.Fatalf("constructed key does not parse: %v\nkey: %q", err, k.Encode())
+		}
+		k.Normalize()
+		if !keysEquivalent(k, got) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, k)
+		}
+	})
+}
+
+// keysEquivalent compares keys treating nil and empty sets as equal and
+// sizes bit-exactly (including negative zero collapsing, which FormatFloat
+// preserves).
+func keysEquivalent(a, b Key) bool {
+	if a.Sig != b.Sig || a.Profile != b.Profile {
+		return false
+	}
+	if strings.Join(a.Inputs, "\x00") != strings.Join(b.Inputs, "\x00") {
+		return false
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i].Path != b.Outputs[i].Path {
+			return false
+		}
+		if math.Float64bits(a.Outputs[i].SizeMB) != math.Float64bits(b.Outputs[i].SizeMB) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package memo
+
+import "sort"
+
+// defaultHistoryWindow bounds the per-signature duration ring when the
+// caller does not.
+const defaultHistoryWindow = 256
+
+// History keeps a bounded ring of observed durations per task signature —
+// the hot tier of the provenance store. It replaces the provenance
+// manager's unbounded per-signature slices: memory stays bounded under
+// soak (window × signatures), and quantiles are served from a cached sorted
+// window instead of copying and sorting the full history on every call.
+type History struct {
+	window int
+	rings  map[string]*durationRing
+}
+
+// durationRing is one signature's sliding window.
+type durationRing struct {
+	buf    []float64
+	next   int
+	n      int
+	sorted []float64
+	dirty  bool
+}
+
+// NewHistory builds a history keeping at most window samples per signature
+// (window <= 0 selects the default, 256).
+func NewHistory(window int) *History {
+	if window <= 0 {
+		window = defaultHistoryWindow
+	}
+	return &History{window: window, rings: make(map[string]*durationRing)}
+}
+
+// Add records one observed duration for the signature, displacing the
+// oldest sample once the window is full.
+func (h *History) Add(sig string, v float64) {
+	r := h.rings[sig]
+	if r == nil {
+		r = &durationRing{buf: make([]float64, h.window)}
+		h.rings[sig] = r
+	}
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.dirty = true
+}
+
+// Count returns how many samples the signature's window currently holds.
+func (h *History) Count(sig string) int {
+	if r := h.rings[sig]; r != nil {
+		return r.n
+	}
+	return 0
+}
+
+// Quantile returns the nearest-rank q-quantile of the signature's current
+// window. The sorted window is cached between calls and rebuilt only after
+// new samples arrive, so repeated estimate queries between task completions
+// are O(1).
+func (h *History) Quantile(sig string, q float64) (float64, bool) {
+	r := h.rings[sig]
+	if r == nil || r.n == 0 {
+		return 0, false
+	}
+	if r.dirty {
+		r.sorted = append(r.sorted[:0], r.buf[:r.n]...)
+		sort.Float64s(r.sorted)
+		r.dirty = false
+	}
+	idx := int(float64(r.n)*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= r.n {
+		idx = r.n - 1
+	}
+	return r.sorted[idx], true
+}

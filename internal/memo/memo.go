@@ -1,0 +1,448 @@
+// Package memo implements the cluster-wide, tenant-agnostic task memo
+// table: executions are keyed on (task signature, canonical input set,
+// canonical declared output set, container profile), so an AM that is about
+// to run a task another workflow — possibly another tenant's — already ran
+// can skip the attempt entirely and splice the recorded outcome into its own
+// provenance. The premise is the one the verifier's recovery keys already
+// proved (b468fe5): a task execution in this system is fully determined by
+// its signature, its inputs, and the resources it runs in.
+//
+// Keys are canonical: paths are taken relative to a per-workflow prefix
+// (the service tier rebases every run under /svc/<tenant>/<name>, so two
+// tenants running the same reference pipeline produce identical canonical
+// keys), input files are identified by lineage (a produced file's identity
+// is derived from its producer's memo key, a staged file's from its
+// canonical path and size), and declared outputs carry their sizes — which
+// is what separates two same-signature tasks with different output arities
+// or shapes, the b468fe5 class of collision.
+//
+// The table itself is tiered: a bounded in-memory hot tier answers lookups
+// in O(1) and spills least-recently-used entries to a compacted cold log in
+// internal/provdb, from which they are promoted back on demand. Memory
+// stays bounded under soak no matter how many distinct executions the
+// cluster has seen.
+package memo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hiway/internal/obs"
+)
+
+// Profile is the container resource profile a task executes in. Identical
+// work in a different profile is a different execution — a 1-core and an
+// 8-core run of the same command are not interchangeable results.
+type Profile struct {
+	// VCores is the container's virtual core count.
+	VCores int
+	// MemMB is the container's memory grant.
+	MemMB int
+}
+
+// OutputID identifies one canonical declared output: prefix-stripped path
+// plus declared size. Declared outputs are part of the key so that
+// same-signature tasks with different output arities or shapes never
+// collide.
+type OutputID struct {
+	// Path is the canonical (prefix-stripped) output path.
+	Path string
+	// SizeMB is the declared output size.
+	SizeMB float64
+}
+
+// Key is the canonical identity of one task execution.
+type Key struct {
+	// Sig is the task signature (its name — one signature per tool).
+	Sig string
+	// Profile is the container resource profile.
+	Profile Profile
+	// Inputs are the canonical input identities, sorted. A produced input
+	// is identified by its producer's key ("p:" identities), a staged one
+	// by canonical path and size ("s:" identities).
+	Inputs []string
+	// Outputs are the canonical declared outputs, sorted by path then size.
+	Outputs []OutputID
+}
+
+// Normalize sorts the key's input and output sets into canonical order.
+func (k *Key) Normalize() {
+	sort.Strings(k.Inputs)
+	sort.Slice(k.Outputs, func(i, j int) bool {
+		if k.Outputs[i].Path != k.Outputs[j].Path {
+			return k.Outputs[i].Path < k.Outputs[j].Path
+		}
+		return k.Outputs[i].SizeMB < k.Outputs[j].SizeMB
+	})
+}
+
+// keyEscaper protects the encoding's structural bytes inside path and
+// signature strings; percent comes first so unescaping is unambiguous.
+var keyEscaper = strings.NewReplacer(
+	"%", "%25", "|", "%7C", ",", "%2C", ":", "%3A", "\n", "%0A",
+)
+
+func escapeField(s string) string { return keyEscaper.Replace(s) }
+
+func unescapeField(s string) (string, error) {
+	if !strings.Contains(s, "%") {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("memo: truncated escape in %q", s)
+		}
+		v, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+		if err != nil {
+			return "", fmt.Errorf("memo: bad escape in %q: %v", s, err)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+// fmtSize renders a size so it round-trips exactly through ParseFloat.
+func fmtSize(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// keyVersion tags the encoding so a future format change cannot silently
+// alias old entries.
+const keyVersion = "m1"
+
+// Encode renders the key in its canonical serialized form — the string the
+// table indexes on. Encoding normalizes the key first, so two keys built
+// from the same sets in different orders encode identically.
+func (k Key) Encode() string {
+	k.Inputs = append([]string(nil), k.Inputs...)
+	k.Outputs = append([]OutputID(nil), k.Outputs...)
+	k.Normalize()
+	ins := make([]string, len(k.Inputs))
+	for i, in := range k.Inputs {
+		ins[i] = escapeField(in)
+	}
+	outs := make([]string, len(k.Outputs))
+	for i, o := range k.Outputs {
+		outs[i] = escapeField(o.Path) + ":" + fmtSize(o.SizeMB)
+	}
+	return keyVersion + "|" + escapeField(k.Sig) +
+		"|" + strconv.Itoa(k.Profile.VCores) + "x" + strconv.Itoa(k.Profile.MemMB) +
+		"|" + strings.Join(ins, ",") +
+		"|" + strings.Join(outs, ",")
+}
+
+// ParseKey decodes a serialized key. It is the inverse of Encode on every
+// key Encode can produce, and returns an error (never panics) on anything
+// else — the FuzzMemoKey target pins both properties.
+func ParseKey(s string) (Key, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 5 {
+		return Key{}, fmt.Errorf("memo: key has %d fields, want 5", len(parts))
+	}
+	if parts[0] != keyVersion {
+		return Key{}, fmt.Errorf("memo: unknown key version %q", parts[0])
+	}
+	var k Key
+	var err error
+	if k.Sig, err = unescapeField(parts[1]); err != nil {
+		return Key{}, err
+	}
+	cores, mem, ok := strings.Cut(parts[2], "x")
+	if !ok {
+		return Key{}, fmt.Errorf("memo: malformed profile %q", parts[2])
+	}
+	if k.Profile.VCores, err = strconv.Atoi(cores); err != nil {
+		return Key{}, fmt.Errorf("memo: bad vcores: %v", err)
+	}
+	if k.Profile.MemMB, err = strconv.Atoi(mem); err != nil {
+		return Key{}, fmt.Errorf("memo: bad memMB: %v", err)
+	}
+	if parts[3] != "" {
+		for _, f := range strings.Split(parts[3], ",") {
+			in, err := unescapeField(f)
+			if err != nil {
+				return Key{}, err
+			}
+			k.Inputs = append(k.Inputs, in)
+		}
+	}
+	if parts[4] != "" {
+		for _, f := range strings.Split(parts[4], ",") {
+			pathF, sizeF, ok := strings.Cut(f, ":")
+			if !ok {
+				return Key{}, fmt.Errorf("memo: malformed output %q", f)
+			}
+			p, err := unescapeField(pathF)
+			if err != nil {
+				return Key{}, err
+			}
+			sz, err := strconv.ParseFloat(sizeF, 64)
+			if err != nil {
+				return Key{}, fmt.Errorf("memo: bad output size %q: %v", sizeF, err)
+			}
+			k.Outputs = append(k.Outputs, OutputID{Path: p, SizeMB: sz})
+		}
+	}
+	return k, nil
+}
+
+// StagedIdentity is the canonical identity of an input file no completed
+// task produced: its canonical path plus its size.
+func StagedIdentity(canonPath string, sizeMB float64) string {
+	return "s:" + canonPath + ":" + fmtSize(sizeMB)
+}
+
+// ProducedIdentity is the canonical identity of a file a memoized task
+// produced: derived from the producer's serialized key plus the output
+// parameter and index, so consumers of equal files build equal keys across
+// runs and tenants without comparing bytes.
+func ProducedIdentity(producerKey, param string, index int) string {
+	return "p:" + producerKey + "#" + param + "#" + strconv.Itoa(index)
+}
+
+// Entry is what a committed execution leaves in the table: enough to
+// attribute a later hit and account the work it saved. The outputs
+// themselves are not stored — key equality already guarantees the hitting
+// task's own declared outputs (paths and sizes) match the recorded ones, so
+// the splice materializes them from the hitting task's declaration.
+type Entry struct {
+	// SourceWF is the workflow that committed the entry.
+	SourceWF string `json:"sourceWF"`
+	// SourceTenant is the tenant whose run committed the entry.
+	SourceTenant string `json:"sourceTenant,omitempty"`
+	// CPUSeconds is the compute the original execution spent — the work a
+	// hit saves.
+	CPUSeconds float64 `json:"cpuSeconds"`
+	// DurationSec is the original execution's wall duration.
+	DurationSec float64 `json:"durationSec"`
+}
+
+// TableStats snapshots the table's lifetime counters.
+type TableStats struct {
+	// Lookups counts Lookup calls.
+	Lookups int64 `json:"lookups"`
+	// Hits counts lookups that found an entry.
+	Hits int64 `json:"hits"`
+	// Commits counts entries written.
+	Commits int64 `json:"commits"`
+	// Evictions counts hot-tier entries displaced to the cold log (or
+	// dropped, when no cold log is attached).
+	Evictions int64 `json:"evictions"`
+	// Promotions counts cold-log entries promoted back into the hot tier.
+	Promotions int64 `json:"promotions"`
+	// CPUSavedSec totals the CPU-seconds hits avoided re-spending.
+	CPUSavedSec float64 `json:"cpuSavedSec"`
+	// HotEntries is the current hot-tier population.
+	HotEntries int `json:"hotEntries"`
+	// ColdEntries is the current cold-log population (0 without a cold log).
+	ColdEntries int `json:"coldEntries"`
+}
+
+// Table is the shared memo table. It is safe for concurrent use: the serve
+// front-end shares one table across goroutine-per-AM runs, while the
+// single-threaded simulation engines use it without contention.
+type Table struct {
+	mu      sync.Mutex
+	tier    *tier
+	optOut  map[string]bool
+	lookups int64
+	hits    int64
+	commits int64
+	saved   float64
+
+	sigLookups map[string]int64
+	sigHits    map[string]int64
+
+	lookupsC *obs.Counter
+	hitsC    *obs.Counter
+	commitsC *obs.Counter
+	evictC   *obs.Counter
+	promoteC *obs.Counter
+	hotG     *obs.Gauge
+	savedG   *obs.Gauge
+}
+
+// New builds a table whose hot tier holds at most capacity entries
+// (capacity <= 0 selects the default, 4096). Entries evicted from a table
+// with no cold log are dropped.
+func New(capacity int) *Table {
+	return &Table{
+		tier:       newTier(capacity),
+		optOut:     make(map[string]bool),
+		sigLookups: make(map[string]int64),
+		sigHits:    make(map[string]int64),
+	}
+}
+
+// AttachCold gives the table a cold log: hot-tier evictions spill into db
+// and lookups that miss the hot tier consult it, promoting hits back.
+func (t *Table) AttachCold(db ColdStore) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tier.cold = db
+}
+
+// SetObs registers the hiway_memo_* metric family on o.
+func (t *Table) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	m := o.M()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookupsC = m.Counter("hiway_memo_lookups_total", "memo table lookups")
+	t.hitsC = m.Counter("hiway_memo_hits_total", "memo table hits (executions skipped)")
+	t.commitsC = m.Counter("hiway_memo_commits_total", "memo entries committed")
+	t.evictC = m.Counter("hiway_memo_evictions_total", "hot-tier entries evicted to the cold log")
+	t.promoteC = m.Counter("hiway_memo_promotions_total", "cold-log entries promoted to the hot tier")
+	t.hotG = m.Gauge("hiway_memo_hot_entries", "current hot-tier population")
+	t.savedG = m.Gauge("hiway_memo_cpu_seconds_saved", "CPU-seconds memo hits avoided re-spending")
+}
+
+// SetOptOut excludes a tenant from memoization: its runs neither consume
+// nor contribute entries.
+func (t *Table) SetOptOut(tenant string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.optOut[tenant] = true
+}
+
+// OptedOut reports whether the tenant is excluded from memoization.
+func (t *Table) OptedOut(tenant string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.optOut[tenant]
+}
+
+// Lookup consults the table for a prior execution of key. A hit records the
+// saved work against the entry and counts toward the signature's hit rate.
+func (t *Table) Lookup(key string) (Entry, bool) {
+	sig := sigOf(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	t.sigLookups[sig]++
+	if t.lookupsC != nil {
+		t.lookupsC.Inc()
+	}
+	e, ok, promoted := t.tier.get(key)
+	if promoted {
+		incIf(t.promoteC)
+	}
+	t.syncGaugesLocked()
+	if !ok {
+		return Entry{}, false
+	}
+	t.hits++
+	t.sigHits[sig]++
+	t.saved += e.CPUSeconds
+	if t.hitsC != nil {
+		t.hitsC.Inc()
+	}
+	if t.savedG != nil {
+		t.savedG.Set(t.saved)
+	}
+	return e, true
+}
+
+// Commit records a finished execution under key. Committing an existing key
+// refreshes the entry.
+func (t *Table) Commit(key string, e Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.commits++
+	if t.commitsC != nil {
+		t.commitsC.Inc()
+	}
+	evicted, err := t.tier.put(key, e)
+	if evicted {
+		incIf(t.evictC)
+	}
+	t.syncGaugesLocked()
+	return err
+}
+
+// incIf guards the nil case so metric updates stay one-liners.
+func incIf(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (t *Table) syncGaugesLocked() {
+	if t.hotG != nil {
+		t.hotG.Set(float64(t.tier.hotLen()))
+	}
+}
+
+// sigOf extracts the signature field of a serialized key without a full
+// parse — Lookup is on the submit path of every task.
+func sigOf(key string) string {
+	rest := key[strings.IndexByte(key, '|')+1:]
+	if i := strings.IndexByte(rest, '|'); i >= 0 {
+		rest = rest[:i]
+	}
+	s, err := unescapeField(rest)
+	if err != nil {
+		return rest
+	}
+	return s
+}
+
+// HitProbability implements the scheduler's admission-time hit predictor:
+// the observed hit rate of the signature's lookups so far, 0 with no
+// history. The adaptive policy uses it to stop spending decline budget on
+// placing work that is likely to be memoized away.
+func (t *Table) HitProbability(sig string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.sigLookups[sig]
+	if n == 0 {
+		return 0
+	}
+	return float64(t.sigHits[sig]) / float64(n)
+}
+
+// Stats snapshots the table's counters.
+func (t *Table) Stats() TableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TableStats{
+		Lookups:     t.lookups,
+		Hits:        t.hits,
+		Commits:     t.commits,
+		Evictions:   t.tier.evictions,
+		Promotions:  t.tier.promotions,
+		CPUSavedSec: t.saved,
+		HotEntries:  t.tier.hotLen(),
+	}
+	if t.tier.cold != nil {
+		st.ColdEntries = t.tier.cold.Len()
+	}
+	return st
+}
+
+// Flush writes every hot entry through to the cold log without evicting
+// it, so a restarted process serves the full table from the reopened log.
+// A table without a cold log is a no-op.
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tier.flush()
+}
+
+// Compact compacts the cold log once its garbage ratio reaches minGarbage
+// (rewrites from eviction/promotion churn). A table without a cold log is a
+// no-op.
+func (t *Table) Compact(minGarbage float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tier.compact(minGarbage)
+}

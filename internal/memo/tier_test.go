@@ -1,0 +1,224 @@
+package memo
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"hiway/internal/provdb"
+)
+
+// keyN builds a distinct valid key per index.
+func keyN(i int) string {
+	return Key{
+		Sig:     "sig",
+		Profile: Profile{VCores: 1, MemMB: 1024},
+		Inputs:  []string{StagedIdentity(fmt.Sprintf("/data/in-%d.dat", i), 64)},
+		Outputs: []OutputID{{Path: fmt.Sprintf("/wf/t%03d.dat", i), SizeMB: 8}},
+	}.Encode()
+}
+
+// TestTierBoundaries is the table-driven sweep over the hot/cold boundary:
+// eviction without a cold log, spill-and-promote through one, eviction
+// triggered mid-lookup by a promotion, and bounded hot memory under a soak
+// of commits far beyond capacity.
+func TestTierBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"eviction-without-cold-drops", func(t *testing.T) {
+			tab := New(2)
+			for i := 0; i < 3; i++ {
+				if err := tab.Commit(keyN(i), Entry{SourceWF: fmt.Sprintf("wf-%d", i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, ok := tab.Lookup(keyN(0)); ok {
+				t.Fatal("evicted entry survived without a cold log")
+			}
+			for i := 1; i < 3; i++ {
+				if _, ok := tab.Lookup(keyN(i)); !ok {
+					t.Fatalf("recent entry %d evicted too early", i)
+				}
+			}
+			st := tab.Stats()
+			if st.Evictions != 1 || st.HotEntries != 2 || st.ColdEntries != 0 {
+				t.Fatalf("stats: %+v", st)
+			}
+		}},
+		{"spill-to-cold-and-promote", func(t *testing.T) {
+			db, err := provdb.Open(filepath.Join(t.TempDir(), "memo.db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			tab := New(2)
+			tab.AttachCold(db)
+			for i := 0; i < 4; i++ {
+				if err := tab.Commit(keyN(i), Entry{SourceWF: fmt.Sprintf("wf-%d", i), CPUSeconds: float64(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := tab.Stats()
+			if st.Evictions != 2 || st.ColdEntries != 2 {
+				t.Fatalf("after spills: %+v", st)
+			}
+			// Cold hit: promoted back, with attribution intact.
+			e, ok := tab.Lookup(keyN(0))
+			if !ok || e.SourceWF != "wf-0" {
+				t.Fatalf("cold lookup: %+v ok=%v", e, ok)
+			}
+			if st := tab.Stats(); st.Promotions != 1 {
+				t.Fatalf("promotions: %+v", st)
+			}
+		}},
+		{"promotion-evicts-mid-lookup", func(t *testing.T) {
+			db, err := provdb.Open(filepath.Join(t.TempDir(), "memo.db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			tab := New(2)
+			tab.AttachCold(db)
+			for i := 0; i < 3; i++ {
+				if err := tab.Commit(keyN(i), Entry{SourceWF: fmt.Sprintf("wf-%d", i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// keyN(0) is cold; promoting it must spill the current LRU
+			// (keyN(1)) without losing it: the displaced entry is still
+			// servable from the cold log afterwards.
+			if _, ok := tab.Lookup(keyN(0)); !ok {
+				t.Fatal("cold entry not promoted")
+			}
+			if _, ok := tab.Lookup(keyN(1)); !ok {
+				t.Fatal("entry displaced by the promotion was lost")
+			}
+			if _, ok := tab.Lookup(keyN(2)); !ok {
+				t.Fatal("entry displaced by the second promotion was lost")
+			}
+		}},
+		{"bounded-memory-under-soak", func(t *testing.T) {
+			db, err := provdb.Open(filepath.Join(t.TempDir(), "memo.db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			tab := New(64)
+			tab.AttachCold(db)
+			const n = 5000
+			for i := 0; i < n; i++ {
+				if err := tab.Commit(keyN(i), Entry{SourceWF: "soak"}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := tab.Stats()
+			if st.HotEntries > 64 {
+				t.Fatalf("hot tier exceeded its bound: %+v", st)
+			}
+			if st.ColdEntries != n-64 {
+				t.Fatalf("cold log population: %+v", st)
+			}
+			// Every entry ever committed is still servable.
+			for _, i := range []int{0, 1, n / 2, n - 1} {
+				if _, ok := tab.Lookup(keyN(i)); !ok {
+					t.Fatalf("entry %d lost under soak", i)
+				}
+			}
+		}},
+		{"corrupt-cold-record-degrades-to-miss", func(t *testing.T) {
+			db, err := provdb.Open(filepath.Join(t.TempDir(), "memo.db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.Put(keyN(0), []byte("{not json")); err != nil {
+				t.Fatal(err)
+			}
+			tab := New(2)
+			tab.AttachCold(db)
+			if _, ok := tab.Lookup(keyN(0)); ok {
+				t.Fatal("corrupt cold record served as a hit")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// TestTierCompactionAndReopen drives the cold log through churn that leaves
+// garbage, compacts it, then reopens the compacted segment in a fresh table
+// — the resume-over-a-compacted-segment case: a restarted service keeps
+// hitting on entries that only survive in the compacted cold log.
+func TestTierCompactionAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.db")
+	db, err := provdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := New(2)
+	tab.AttachCold(db)
+	// Churn: re-commit the same keys repeatedly so spills overwrite cold
+	// records, leaving superseded garbage in the log.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 6; i++ {
+			if err := tab.Commit(keyN(i), Entry{SourceWF: fmt.Sprintf("round-%d", round), CPUSeconds: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Flush the still-hot tail so the cold log holds the whole table.
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.GarbageRatio()
+	if before <= 0.2 {
+		t.Fatalf("churn produced too little garbage (%v); the test lost its premise", before)
+	}
+	// Below-threshold compaction is a no-op; above-threshold compacts.
+	if err := tab.Compact(0.99); err != nil {
+		t.Fatal(err)
+	}
+	if db.GarbageRatio() != before {
+		t.Fatal("compaction fired below its garbage threshold")
+	}
+	if err := tab.Compact(0.2); err != nil {
+		t.Fatal(err)
+	}
+	// Header overhead keeps the ratio above zero; the superseded records
+	// themselves must be gone.
+	if after := db.GarbageRatio(); after >= before/2 {
+		t.Fatalf("garbage ratio %v after compaction (was %v)", after, before)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the compacted segment under a fresh table: everything spilled
+	// must still hit.
+	db2, err := provdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tab2 := New(2)
+	tab2.AttachCold(db2)
+	for i := 0; i < 6; i++ {
+		e, ok := tab2.Lookup(keyN(i))
+		if !ok {
+			t.Fatalf("entry %d missing after compaction and reopen", i)
+		}
+		if e.SourceWF != "round-5" {
+			t.Fatalf("entry %d is stale: %+v", i, e)
+		}
+	}
+}
+
+// TestTableCompactWithoutCold pins the no-op path.
+func TestTableCompactWithoutCold(t *testing.T) {
+	if err := New(2).Compact(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -81,6 +81,15 @@ type Event struct {
 
 	// Workflow-resumed summary: completed tasks recovered from provenance.
 	Recovered int `json:"recovered,omitempty"`
+
+	// MemoHit marks a task-end that was spliced from the cluster memo table
+	// rather than executed: the task completed with zero attempts, zero
+	// duration, and no node.
+	MemoHit bool `json:"memoHit,omitempty"`
+	// MemoSource is the workflow whose execution populated the memo entry a
+	// hit was served from — the attribution edge the memo-hit provenance
+	// query walks.
+	MemoSource string `json:"memoSource,omitempty"`
 }
 
 // TaskEndEvent builds the task-end event for a completed task result. Each

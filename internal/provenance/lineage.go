@@ -1,0 +1,406 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file extends the query layer with the three questions the tiered
+// provenance store is asked by operators: how a file came to be (lineage),
+// how two runs of the same pipeline differ (cross-run diff), and which
+// earlier run paid for a memoized completion (memo-hit attribution). All
+// queries run over any Store; a small parsed query language (ParseQuery)
+// lets `hiway prov -query` and the service's GET /v1/provenance share one
+// grammar.
+
+// QueryOp discriminates parsed provenance queries.
+type QueryOp string
+
+// The supported query operations.
+const (
+	// OpLineage walks producer links backward from one file path.
+	OpLineage QueryOp = "lineage"
+	// OpDiff compares two workflow runs signature by signature.
+	OpDiff QueryOp = "diff"
+	// OpMemoHits lists memoized completions and the runs that paid for them.
+	OpMemoHits QueryOp = "memo-hits"
+)
+
+// Query is one parsed provenance query. Fields are populated according to
+// Op: Path for lineage, RunA/RunB for diff, and Run (optional filter) for
+// memo-hits.
+type Query struct {
+	Op   QueryOp
+	Path string
+	RunA string
+	RunB string
+	Run  string
+}
+
+// ParseQuery parses the provenance query mini-language:
+//
+//	lineage <path>
+//	diff <runA> <runB>
+//	memo-hits [run]
+//
+// Tokens are whitespace-separated; parsed queries round-trip through
+// String.
+func ParseQuery(s string) (Query, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Query{}, fmt.Errorf("provenance: empty query")
+	}
+	switch QueryOp(fields[0]) {
+	case OpLineage:
+		if len(fields) != 2 {
+			return Query{}, fmt.Errorf("provenance: usage: lineage <path>")
+		}
+		return Query{Op: OpLineage, Path: fields[1]}, nil
+	case OpDiff:
+		if len(fields) != 3 {
+			return Query{}, fmt.Errorf("provenance: usage: diff <runA> <runB>")
+		}
+		return Query{Op: OpDiff, RunA: fields[1], RunB: fields[2]}, nil
+	case OpMemoHits:
+		switch len(fields) {
+		case 1:
+			return Query{Op: OpMemoHits}, nil
+		case 2:
+			return Query{Op: OpMemoHits, Run: fields[1]}, nil
+		}
+		return Query{}, fmt.Errorf("provenance: usage: memo-hits [run]")
+	}
+	return Query{}, fmt.Errorf("provenance: unknown query op %q", fields[0])
+}
+
+// String renders the query back into its parseable form.
+func (q Query) String() string {
+	switch q.Op {
+	case OpLineage:
+		return string(OpLineage) + " " + q.Path
+	case OpDiff:
+		return fmt.Sprintf("%s %s %s", OpDiff, q.RunA, q.RunB)
+	case OpMemoHits:
+		if q.Run == "" {
+			return string(OpMemoHits)
+		}
+		return string(OpMemoHits) + " " + q.Run
+	}
+	return string(q.Op)
+}
+
+// RunQuery executes a parsed query against a store and renders the result
+// as text — the shared backend of `hiway prov -query` and GET
+// /v1/provenance.
+func RunQuery(store Store, q Query) (string, error) {
+	switch q.Op {
+	case OpLineage:
+		n, err := Lineage(store, q.Path)
+		if err != nil {
+			return "", err
+		}
+		return RenderLineage(n), nil
+	case OpDiff:
+		d, err := DiffRuns(store, q.RunA, q.RunB)
+		if err != nil {
+			return "", err
+		}
+		return RenderRunDiff(d), nil
+	case OpMemoHits:
+		hits, err := MemoHits(store, q.Run)
+		if err != nil {
+			return "", err
+		}
+		return RenderMemoHits(hits), nil
+	}
+	return "", fmt.Errorf("provenance: unknown query op %q", q.Op)
+}
+
+// LineageNode is one file in a lineage tree. Producer is nil for external
+// (staged) inputs that no recorded task produced.
+type LineageNode struct {
+	Path     string
+	SizeMB   float64
+	Producer *LineageStep
+}
+
+// LineageStep is the task execution that produced a file, with the inputs
+// it consumed — the recursive edge of the lineage walk. MemoHit/MemoSource
+// carry memo attribution through the tree: a spliced completion's lineage
+// names the run whose execution actually produced the bytes.
+type LineageStep struct {
+	Signature   string
+	WorkflowID  string
+	TaskID      int64
+	DurationSec float64
+	MemoHit     bool
+	MemoSource  string
+	Inputs      []*LineageNode
+}
+
+// Lineage walks producer links backward from path: the latest task-end
+// event producing path becomes its producer, and each of that task's
+// inputs is resolved recursively. Paths with no recorded producer are
+// leaves (staged inputs). Shared subtrees are revisited but cycles are cut,
+// so diamond-shaped dataflow renders fully while malformed traces cannot
+// recurse forever.
+func Lineage(store Store, path string) (*LineageNode, error) {
+	events, err := store.Events()
+	if err != nil {
+		return nil, err
+	}
+	// Latest producer wins: later events overwrite earlier ones, matching
+	// the manager's latest-observation indexing.
+	producer := map[string]Event{}
+	sizes := map[string]float64{}
+	for _, ev := range events {
+		if ev.Type != TaskEnd {
+			continue
+		}
+		for _, f := range ev.Outputs {
+			producer[f.Path] = ev
+			if f.SizeMB > 0 {
+				sizes[f.Path] = f.SizeMB
+			}
+		}
+		for _, f := range ev.Inputs {
+			if f.SizeMB > 0 {
+				sizes[f.Path] = f.SizeMB
+			}
+		}
+	}
+	var walk func(p string, onPath map[string]bool) *LineageNode
+	walk = func(p string, onPath map[string]bool) *LineageNode {
+		n := &LineageNode{Path: p, SizeMB: sizes[p]}
+		ev, ok := producer[p]
+		if !ok || onPath[p] {
+			return n
+		}
+		onPath[p] = true
+		defer delete(onPath, p)
+		step := &LineageStep{
+			Signature:   ev.Signature,
+			WorkflowID:  ev.WorkflowID,
+			TaskID:      ev.TaskID,
+			DurationSec: ev.DurationSec,
+			MemoHit:     ev.MemoHit,
+			MemoSource:  ev.MemoSource,
+		}
+		for _, in := range ev.Inputs {
+			step.Inputs = append(step.Inputs, walk(in.Path, onPath))
+		}
+		n.Producer = step
+		return n
+	}
+	return walk(path, map[string]bool{}), nil
+}
+
+// RenderLineage formats a lineage tree as an indented text derivation.
+func RenderLineage(n *LineageNode) string {
+	var sb strings.Builder
+	var rec func(n *LineageNode, depth int)
+	rec = func(n *LineageNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&sb, "%s%s", indent, n.Path)
+		if n.SizeMB > 0 {
+			fmt.Fprintf(&sb, " (%g MB)", n.SizeMB)
+		}
+		if n.Producer == nil {
+			sb.WriteString(" [staged]\n")
+			return
+		}
+		p := n.Producer
+		fmt.Fprintf(&sb, " <- %s task %d @ %s", p.Signature, p.TaskID, p.WorkflowID)
+		if p.MemoHit {
+			fmt.Fprintf(&sb, " [memo hit from %s]", p.MemoSource)
+		}
+		sb.WriteString("\n")
+		for _, in := range p.Inputs {
+			rec(in, depth+1)
+		}
+	}
+	rec(n, 0)
+	return sb.String()
+}
+
+// SigDelta compares one task signature between two runs.
+type SigDelta struct {
+	Signature string
+	CountA    int
+	CountB    int
+	TotalSecA float64
+	TotalSecB float64
+	MemoHitsA int
+	MemoHitsB int
+}
+
+// RunDiff is the cross-run comparison of two workflow runs: signatures
+// unique to each side, shared signatures with execution-time deltas, and
+// the makespans.
+type RunDiff struct {
+	RunA      string
+	RunB      string
+	MakespanA float64
+	MakespanB float64
+	OnlyA     []string
+	OnlyB     []string
+	Common    []SigDelta
+}
+
+// DiffRuns compares two recorded workflow runs signature by signature —
+// "what changed between yesterday's run and today's?". Memo-hit counts per
+// side make memoization's contribution to a faster run visible in the
+// diff.
+func DiffRuns(store Store, runA, runB string) (*RunDiff, error) {
+	events, err := store.Events()
+	if err != nil {
+		return nil, err
+	}
+	d := &RunDiff{RunA: runA, RunB: runB}
+	type acc struct {
+		count, memo int
+		total       float64
+	}
+	a := map[string]*acc{}
+	b := map[string]*acc{}
+	seenA, seenB := false, false
+	for _, ev := range events {
+		var side map[string]*acc
+		switch ev.WorkflowID {
+		case runA:
+			side, seenA = a, true
+		case runB:
+			side, seenB = b, true
+		default:
+			continue
+		}
+		switch ev.Type {
+		case TaskEnd:
+			s := side[ev.Signature]
+			if s == nil {
+				s = &acc{}
+				side[ev.Signature] = s
+			}
+			s.count++
+			s.total += ev.DurationSec
+			if ev.MemoHit {
+				s.memo++
+			}
+		case WorkflowEnd:
+			if ev.WorkflowID == runA {
+				d.MakespanA = ev.DurationSec
+			} else {
+				d.MakespanB = ev.DurationSec
+			}
+		}
+	}
+	if !seenA {
+		return nil, fmt.Errorf("provenance: run %q not in trace", runA)
+	}
+	if !seenB {
+		return nil, fmt.Errorf("provenance: run %q not in trace", runB)
+	}
+	for sig, sa := range a {
+		sb, ok := b[sig]
+		if !ok {
+			d.OnlyA = append(d.OnlyA, sig)
+			continue
+		}
+		d.Common = append(d.Common, SigDelta{
+			Signature: sig,
+			CountA:    sa.count, CountB: sb.count,
+			TotalSecA: sa.total, TotalSecB: sb.total,
+			MemoHitsA: sa.memo, MemoHitsB: sb.memo,
+		})
+	}
+	for sig := range b {
+		if _, ok := a[sig]; !ok {
+			d.OnlyB = append(d.OnlyB, sig)
+		}
+	}
+	sort.Strings(d.OnlyA)
+	sort.Strings(d.OnlyB)
+	sort.Slice(d.Common, func(i, j int) bool { return d.Common[i].Signature < d.Common[j].Signature })
+	return d, nil
+}
+
+// RenderRunDiff formats a RunDiff as a text report.
+func RenderRunDiff(d *RunDiff) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "diff %s vs %s\n", d.RunA, d.RunB)
+	fmt.Fprintf(&sb, "makespan: %.2f s vs %.2f s\n", d.MakespanA, d.MakespanB)
+	for _, sig := range d.OnlyA {
+		fmt.Fprintf(&sb, "only in %s: %s\n", d.RunA, sig)
+	}
+	for _, sig := range d.OnlyB {
+		fmt.Fprintf(&sb, "only in %s: %s\n", d.RunB, sig)
+	}
+	if len(d.Common) > 0 {
+		fmt.Fprintf(&sb, "%-16s %6s %6s %10s %10s %6s %6s\n",
+			"signature", "n(A)", "n(B)", "sec(A)", "sec(B)", "memoA", "memoB")
+		for _, c := range d.Common {
+			fmt.Fprintf(&sb, "%-16s %6d %6d %10.2f %10.2f %6d %6d\n",
+				c.Signature, c.CountA, c.CountB, c.TotalSecA, c.TotalSecB, c.MemoHitsA, c.MemoHitsB)
+		}
+	}
+	return sb.String()
+}
+
+// MemoAttribution records one memoized completion and the run whose real
+// execution it was served from.
+type MemoAttribution struct {
+	WorkflowID string
+	TaskID     int64
+	Signature  string
+	MemoSource string
+	// CPUSavedSec is the CPU work the hit avoided — the task's recorded
+	// CPU-seconds profile.
+	CPUSavedSec float64
+}
+
+// MemoHits lists memo-hit task-ends in trace order, optionally filtered to
+// one consuming run — the attribution side of cross-tenant memoization:
+// which earlier run paid for each skipped execution.
+func MemoHits(store Store, run string) ([]MemoAttribution, error) {
+	events, err := store.Events()
+	if err != nil {
+		return nil, err
+	}
+	var out []MemoAttribution
+	for _, ev := range events {
+		if ev.Type != TaskEnd || !ev.MemoHit {
+			continue
+		}
+		if run != "" && ev.WorkflowID != run {
+			continue
+		}
+		out = append(out, MemoAttribution{
+			WorkflowID:  ev.WorkflowID,
+			TaskID:      ev.TaskID,
+			Signature:   ev.Signature,
+			MemoSource:  ev.MemoSource,
+			CPUSavedSec: ev.CPUSeconds,
+		})
+	}
+	return out, nil
+}
+
+// RenderMemoHits formats memo-hit attributions as a text table.
+func RenderMemoHits(hits []MemoAttribution) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %6s %-16s %-14s %10s\n",
+		"run", "task", "signature", "source", "cpu-saved")
+	var saved float64
+	for _, h := range hits {
+		src := h.MemoSource
+		if src == "" {
+			src = "-"
+		}
+		fmt.Fprintf(&sb, "%-14s %6d %-16s %-14s %10.2f\n",
+			h.WorkflowID, h.TaskID, h.Signature, src, h.CPUSavedSec)
+		saved += h.CPUSavedSec
+	}
+	fmt.Fprintf(&sb, "%d memo hits, %.2f cpu-seconds saved\n", len(hits), saved)
+	return sb.String()
+}

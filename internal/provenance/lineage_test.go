@@ -1,0 +1,224 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+)
+
+// traceFixture builds a two-run store: wf-a executes a two-stage chain for
+// real; wf-b re-runs the same pipeline with the second stage spliced from
+// the memo table (attributed to wf-a) plus one extra signature.
+func traceFixture(t *testing.T) Store {
+	t.Helper()
+	st := NewMemStore()
+	evs := []Event{
+		{ID: "wf-a-start", Type: WorkflowStart, WorkflowID: "wf-a"},
+		{ID: "wf-a-task-1", Type: TaskEnd, WorkflowID: "wf-a", TaskID: 1,
+			Signature: "align", Node: "n0", DurationSec: 10, CPUSeconds: 40,
+			Inputs:  []FileEvent{{Path: "/data/sample.fq", SizeMB: 512}},
+			Outputs: []FileEvent{{Path: "/wf/aligned.bam", SizeMB: 256}}},
+		{ID: "wf-a-task-2", Type: TaskEnd, WorkflowID: "wf-a", TaskID: 2,
+			Signature: "call", Node: "n1", DurationSec: 5, CPUSeconds: 20,
+			Inputs:  []FileEvent{{Path: "/wf/aligned.bam", SizeMB: 256}},
+			Outputs: []FileEvent{{Path: "/wf/calls.vcf", SizeMB: 32}}},
+		{ID: "wf-a-end", Type: WorkflowEnd, WorkflowID: "wf-a", DurationSec: 15, Succeeded: true},
+		{ID: "wf-b-start", Type: WorkflowStart, WorkflowID: "wf-b"},
+		{ID: "wf-b-task-1", Type: TaskEnd, WorkflowID: "wf-b", TaskID: 1,
+			Signature: "align", Node: "n0", DurationSec: 9, CPUSeconds: 40,
+			Inputs:  []FileEvent{{Path: "/data/sample.fq", SizeMB: 512}},
+			Outputs: []FileEvent{{Path: "/wf2/aligned.bam", SizeMB: 256}}},
+		{ID: "wf-b-task-2", Type: TaskEnd, WorkflowID: "wf-b", TaskID: 2,
+			Signature: "call", MemoHit: true, MemoSource: "wf-a", CPUSeconds: 20,
+			Inputs:  []FileEvent{{Path: "/wf2/aligned.bam", SizeMB: 256}},
+			Outputs: []FileEvent{{Path: "/wf2/calls.vcf", SizeMB: 32}}},
+		{ID: "wf-b-task-3", Type: TaskEnd, WorkflowID: "wf-b", TaskID: 3,
+			Signature: "annotate", Node: "n1", DurationSec: 2, CPUSeconds: 4,
+			Inputs:  []FileEvent{{Path: "/wf2/calls.vcf", SizeMB: 32}},
+			Outputs: []FileEvent{{Path: "/wf2/annotated.vcf", SizeMB: 33}}},
+		{ID: "wf-b-end", Type: WorkflowEnd, WorkflowID: "wf-b", DurationSec: 11, Succeeded: true},
+	}
+	for _, ev := range evs {
+		if err := st.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestLineageWalksProducersToStagedLeaves(t *testing.T) {
+	n, err := Lineage(traceFixture(t), "/wf2/annotated.vcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Producer == nil || n.Producer.Signature != "annotate" {
+		t.Fatalf("root producer: %+v", n.Producer)
+	}
+	calls := n.Producer.Inputs[0]
+	if calls.Producer == nil || calls.Producer.Signature != "call" {
+		t.Fatalf("calls producer: %+v", calls.Producer)
+	}
+	if !calls.Producer.MemoHit || calls.Producer.MemoSource != "wf-a" {
+		t.Fatalf("memo attribution lost in lineage: %+v", calls.Producer)
+	}
+	aligned := calls.Producer.Inputs[0]
+	if aligned.Producer == nil || aligned.Producer.Signature != "align" {
+		t.Fatalf("aligned producer: %+v", aligned.Producer)
+	}
+	leaf := aligned.Producer.Inputs[0]
+	if leaf.Path != "/data/sample.fq" || leaf.Producer != nil {
+		t.Fatalf("staged leaf: %+v", leaf)
+	}
+	text := RenderLineage(n)
+	for _, want := range []string{"[staged]", "[memo hit from wf-a]", "/wf2/annotated.vcf"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered lineage missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLineageCutsCycles(t *testing.T) {
+	st := NewMemStore()
+	// Malformed trace: a and b produce each other.
+	_ = st.Append(Event{ID: "t1", Type: TaskEnd, WorkflowID: "wf", TaskID: 1, Signature: "s1",
+		Inputs: []FileEvent{{Path: "/b"}}, Outputs: []FileEvent{{Path: "/a"}}})
+	_ = st.Append(Event{ID: "t2", Type: TaskEnd, WorkflowID: "wf", TaskID: 2, Signature: "s2",
+		Inputs: []FileEvent{{Path: "/a"}}, Outputs: []FileEvent{{Path: "/b"}}})
+	n, err := Lineage(st, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /a <- s1 <- /b <- s2 <- /a (cut: leaf, no producer)
+	inner := n.Producer.Inputs[0].Producer.Inputs[0]
+	if inner.Path != "/a" || inner.Producer != nil {
+		t.Fatalf("cycle not cut: %+v", inner)
+	}
+}
+
+func TestDiffRunsSeparatesAndDeltas(t *testing.T) {
+	d, err := DiffRuns(traceFixture(t), "wf-a", "wf-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MakespanA != 15 || d.MakespanB != 11 {
+		t.Fatalf("makespans: %+v", d)
+	}
+	if len(d.OnlyA) != 0 || len(d.OnlyB) != 1 || d.OnlyB[0] != "annotate" {
+		t.Fatalf("onlys: %+v %+v", d.OnlyA, d.OnlyB)
+	}
+	if len(d.Common) != 2 {
+		t.Fatalf("common: %+v", d.Common)
+	}
+	call := d.Common[1]
+	if call.Signature != "call" || call.MemoHitsA != 0 || call.MemoHitsB != 1 {
+		t.Fatalf("call delta: %+v", call)
+	}
+	if call.TotalSecA != 5 || call.TotalSecB != 0 {
+		t.Fatalf("call durations: %+v", call)
+	}
+	if _, err := DiffRuns(traceFixture(t), "wf-a", "nope"); err == nil {
+		t.Fatal("diff against an unknown run did not error")
+	}
+	if !strings.Contains(RenderRunDiff(d), "only in wf-b: annotate") {
+		t.Fatal("rendered diff missing only-in row")
+	}
+}
+
+func TestMemoHitsAttribution(t *testing.T) {
+	hits, err := MemoHits(traceFixture(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits: %+v", hits)
+	}
+	h := hits[0]
+	if h.WorkflowID != "wf-b" || h.Signature != "call" || h.MemoSource != "wf-a" || h.CPUSavedSec != 20 {
+		t.Fatalf("attribution: %+v", h)
+	}
+	filtered, err := MemoHits(traceFixture(t), "wf-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != 0 {
+		t.Fatalf("wf-a executed everything for real, got %+v", filtered)
+	}
+	if !strings.Contains(RenderMemoHits(hits), "1 memo hits, 20.00 cpu-seconds saved") {
+		t.Fatal("rendered memo-hits missing total")
+	}
+}
+
+func TestParseQueryRoundTripAndErrors(t *testing.T) {
+	good := []string{
+		"lineage /wf/calls.vcf",
+		"diff wf-a wf-b",
+		"memo-hits",
+		"memo-hits wf-b",
+	}
+	for _, s := range good {
+		q, err := ParseQuery(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if q.String() != s {
+			t.Fatalf("round trip: %q -> %q", s, q.String())
+		}
+		q2, err := ParseQuery(q.String())
+		if err != nil || q2 != q {
+			t.Fatalf("re-parse: %+v vs %+v (%v)", q, q2, err)
+		}
+	}
+	bad := []string{"", "   ", "lineage", "lineage a b", "diff one", "diff a b c", "memo-hits a b", "explode"}
+	for _, s := range bad {
+		if _, err := ParseQuery(s); err == nil {
+			t.Fatalf("%q parsed", s)
+		}
+	}
+}
+
+func TestRunQueryDispatch(t *testing.T) {
+	st := traceFixture(t)
+	for _, tc := range []struct{ q, want string }{
+		{"lineage /wf2/calls.vcf", "[memo hit from wf-a]"},
+		{"diff wf-a wf-b", "makespan: 15.00 s vs 11.00 s"},
+		{"memo-hits wf-b", "cpu-seconds saved"},
+	} {
+		q, err := ParseQuery(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := RunQuery(st, q)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.q, err)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%q output missing %q:\n%s", tc.q, tc.want, out)
+		}
+	}
+	if _, err := RunQuery(st, Query{Op: "bogus"}); err == nil {
+		t.Fatal("bogus op did not error")
+	}
+}
+
+// FuzzProvQuery fuzzes the query parser: arbitrary input must never panic,
+// and any successfully parsed query must round-trip through String.
+func FuzzProvQuery(f *testing.F) {
+	f.Add("lineage /wf/calls.vcf")
+	f.Add("diff wf-a wf-b")
+	f.Add("memo-hits wf-b")
+	f.Add("memo-hits")
+	f.Add("  lineage\t/odd path  ")
+	f.Add("explode | ; $(boom)")
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseQuery(s)
+		if err != nil {
+			return
+		}
+		q2, err := ParseQuery(q.String())
+		if err != nil {
+			t.Fatalf("parsed query %+v does not re-parse: %v", q, err)
+		}
+		if q2 != q {
+			t.Fatalf("round trip diverged: %+v vs %+v", q, q2)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"hiway/internal/memo"
 	"hiway/internal/obs"
 	"hiway/internal/wf"
 )
@@ -30,7 +31,7 @@ type Manager struct {
 	lastRuntime map[string]map[string]float64 // signature → node → latest duration
 	runtimeSum  map[string]float64            // signature → Σ lastRuntime values (O(1) mean)
 	estVer      map[string]uint64             // signature → observation version
-	runtimes    map[string][]float64          // signature → successful durations, in order
+	history     *memo.History                 // signature → bounded ring of successful durations
 	fileSizes   map[string]float64            // path → size MB
 	transferSec map[string]float64            // path → latest transfer time
 	signatures  map[string]bool
@@ -62,7 +63,7 @@ func NewManager(store Store) (*Manager, error) {
 		lastRuntime: make(map[string]map[string]float64),
 		runtimeSum:  make(map[string]float64),
 		estVer:      make(map[string]uint64),
-		runtimes:    make(map[string][]float64),
+		history:     memo.NewHistory(0),
 		fileSizes:   make(map[string]float64),
 		transferSec: make(map[string]float64),
 		signatures:  make(map[string]bool),
@@ -205,9 +206,10 @@ func (m *Manager) index(ev Event) {
 		}
 		// Only successful attempts feed the runtime distribution; a crashed
 		// or killed attempt's duration says nothing about how long the task
-		// legitimately takes.
+		// legitimately takes, and a memo-spliced completion (duration 0)
+		// reflects no execution at all.
 		if ev.ExitCode == 0 && ev.Error == "" && ev.DurationSec > 0 {
-			m.runtimes[ev.Signature] = append(m.runtimes[ev.Signature], ev.DurationSec)
+			m.history.Add(ev.Signature, ev.DurationSec)
 		}
 		for _, f := range append(append([]FileEvent{}, ev.Inputs...), ev.Outputs...) {
 			if f.SizeMB > 0 {
@@ -258,27 +260,18 @@ func (m *Manager) EstimateVersion(signature string) uint64 {
 	return m.estVer[signature]
 }
 
-// RuntimeP95 returns the 95th-percentile duration over all successful
-// observations of signature (any node). The fault-tolerance layer derives
-// attempt deadlines from it: deadline = p95 × slack. ok is false when the
-// signature has never completed successfully.
+// RuntimeP95 returns the 95th-percentile duration over the bounded window
+// of recent successful observations of signature (any node). The
+// fault-tolerance layer derives attempt deadlines from it: deadline =
+// p95 × slack. ok is false when the signature has never completed
+// successfully. The distribution lives in a memo.History ring — the hot
+// tier of the provenance store — so memory stays bounded under soak and the
+// sorted window is cached between observations instead of re-sorted per
+// query.
 func (m *Manager) RuntimeP95(signature string) (float64, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	obs := m.runtimes[signature]
-	if len(obs) == 0 {
-		return 0, false
-	}
-	sorted := append([]float64(nil), obs...)
-	sort.Float64s(sorted)
-	idx := int(float64(len(sorted))*0.95+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx], true
+	return m.history.Quantile(signature, 0.95)
 }
 
 // ObservedNodes returns the nodes that signature has run on, sorted.

@@ -63,6 +63,7 @@ type AdaptiveGreedy struct {
 	obsSink
 	est  Estimator
 	ver  EstimateVersioner // nil → no memoization
+	pred HitPredictor      // nil → memo-blind declines
 	sigs map[string]*agBucket
 	adv  map[string]map[string]agAdv // signature → node → memo
 	n    int
@@ -96,6 +97,10 @@ func NewAdaptiveGreedy(est Estimator) *AdaptiveGreedy {
 
 // Name implements Scheduler.
 func (s *AdaptiveGreedy) Name() string { return "adaptive-greedy" }
+
+// SetHitPredictor implements PredictorAware: the policy consults the memo
+// table's admission-time hit predictor when weighing container declines.
+func (s *AdaptiveGreedy) SetHitPredictor(p HitPredictor) { s.pred = p }
 
 // OnTaskReady implements Scheduler.
 func (s *AdaptiveGreedy) OnTaskReady(t *wf.Task) {
@@ -164,7 +169,10 @@ func (s *AdaptiveGreedy) Select(node string) *wf.Task {
 }
 
 // shouldDecline reports whether the task is known to run far slower on the
-// node than its mean suggests.
+// node than its mean suggests. A hit predictor raises the bar by 1/(1−p):
+// signatures the memo table is likely to serve will mostly never execute
+// again, so spending the bounded decline budget hunting a faster node for
+// them has little future payoff (p→1 disables declining entirely).
 func (s *AdaptiveGreedy) shouldDecline(t *wf.Task, node string) bool {
 	mean, ok := s.est.MeanRuntime(t.Name)
 	if !ok || mean <= 0 {
@@ -174,7 +182,16 @@ func (s *AdaptiveGreedy) shouldDecline(t *wf.Task, node string) bool {
 	if !ok {
 		return false // unobserved: explore instead
 	}
-	return last > s.declineFactor*mean
+	threshold := s.declineFactor * mean
+	if s.pred != nil {
+		if p := s.pred.HitProbability(t.Name); p > 0 {
+			if p >= 1 {
+				return false
+			}
+			threshold /= 1 - p
+		}
+	}
+	return last > threshold
 }
 
 // advantage returns mean(sig) − last(sig, node), memoized per

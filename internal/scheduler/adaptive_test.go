@@ -193,3 +193,49 @@ func TestAdaptiveGreedyDeclineBudgetExhausts(t *testing.T) {
 		t.Fatalf("exhausted budget must accept, got %v", got)
 	}
 }
+
+// fakePredictor reports a fixed memo-hit probability per signature.
+type fakePredictor struct{ p map[string]float64 }
+
+func (f *fakePredictor) HitProbability(sig string) float64 { return f.p[sig] }
+
+func TestAdaptiveGreedyHitPredictorSuppressesDeclines(t *testing.T) {
+	est := &fakeEstimator{runtimes: map[string]map[string]float64{
+		"w": {"a": 10, "b": 12, "c": 9, "awful": 500},
+	}}
+	task := mkTask("w", nil, "o")
+	// Baseline: mean 132.75, 500 > 3×132.75 ⇒ the slow node is declined.
+	s := NewAdaptiveGreedy(est)
+	s.OnTaskReady(task)
+	if s.Select("awful") != nil {
+		t.Fatal("baseline: slow node should be declined")
+	}
+	// A likely memo hit raises the decline bar by 1/(1−p): at p=0.8 the
+	// threshold becomes 5×398.25 ⇒ the same offer is accepted. Wired
+	// through Deps to cover the PredictorAware plumbing in New.
+	s2, err := New(PolicyAdaptiveGreedy, Deps{
+		Estimator: est,
+		Predictor: &fakePredictor{p: map[string]float64{"w": 0.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.OnTaskReady(task)
+	if got := s2.Select("awful"); got != task {
+		t.Fatalf("high hit probability must suppress the decline, got %v", got)
+	}
+	// p=1 disables declining outright, however slow the node.
+	s3 := NewAdaptiveGreedy(est)
+	s3.SetHitPredictor(&fakePredictor{p: map[string]float64{"w": 1}})
+	s3.OnTaskReady(task)
+	if got := s3.Select("awful"); got != task {
+		t.Fatalf("certain hit must never decline, got %v", got)
+	}
+	// p=0 (or an unknown signature) leaves behavior untouched.
+	s4 := NewAdaptiveGreedy(est)
+	s4.SetHitPredictor(&fakePredictor{p: map[string]float64{}})
+	s4.OnTaskReady(task)
+	if s4.Select("awful") != nil {
+		t.Fatal("zero hit probability must keep the decline")
+	}
+}

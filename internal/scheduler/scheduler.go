@@ -47,6 +47,13 @@ type EstimateVersioner interface {
 	EstimateVersion(signature string) uint64
 }
 
+// HitPredictor estimates the probability that a future task with the given
+// signature will be served from the cluster memo table instead of executing.
+// memo.Table implements it from its per-signature lookup/hit history.
+type HitPredictor interface {
+	HitProbability(signature string) float64
+}
+
 // Scheduler assigns ready tasks to allocated containers.
 type Scheduler interface {
 	// Name identifies the policy.
@@ -83,6 +90,10 @@ type Reassigner interface {
 type Deps struct {
 	Locality  LocalityOracle
 	Estimator Estimator
+	// Predictor, when set, informs memo-aware policies how likely each
+	// signature is to be served from the cluster memo table; policies that
+	// ignore memoization leave it unused.
+	Predictor HitPredictor
 	// Obs, when set, makes every policy record its per-decision trace
 	// (policy, candidates considered, locality outcome, blacklist hits)
 	// into the decision log and metrics registry.
@@ -125,12 +136,23 @@ func New(policy string, deps Deps) (Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("scheduler: unknown policy %q", policy)
 	}
+	if deps.Predictor != nil {
+		if pa, ok := s.(PredictorAware); ok {
+			pa.SetHitPredictor(deps.Predictor)
+		}
+	}
 	if deps.Obs != nil {
 		if oa, ok := s.(ObsAware); ok {
 			oa.SetObs(deps.Obs)
 		}
 	}
 	return s, nil
+}
+
+// PredictorAware is implemented by policies that consult a memo-table hit
+// predictor; AdaptiveGreedy implements it.
+type PredictorAware interface {
+	SetHitPredictor(p HitPredictor)
 }
 
 // ObsAware is implemented by schedulers that can record per-decision

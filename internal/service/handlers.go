@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+
+	"hiway/internal/provenance"
 )
 
 // maxBodyBytes bounds a submission payload (workflow source included).
@@ -32,6 +34,7 @@ func Routes() []Route {
 		{Method: "GET", Pattern: "/v1/workflows", Summary: "list all runs with their states"},
 		{Method: "GET", Pattern: "/v1/workflows/{id}", Summary: "status of one run"},
 		{Method: "GET", Pattern: "/v1/workflows/{id}/events", Summary: "live run event stream (Server-Sent Events)"},
+		{Method: "GET", Pattern: "/v1/provenance", Summary: "query the merged provenance trace (?q=lineage|diff|memo-hits)"},
 		{Method: "POST", Pattern: "/v1/drain", Summary: "stop admission and drain in-flight runs"},
 		{Method: "GET", Pattern: "/metrics", Summary: "Prometheus text exposition of the server registry"},
 		{Method: "GET", Pattern: "/healthz", Summary: "liveness probe"},
@@ -47,6 +50,7 @@ func (s *Server) Handler() http.Handler {
 		"GET /v1/workflows":             s.handleList,
 		"GET /v1/workflows/{id}":        s.handleStatus,
 		"GET /v1/workflows/{id}/events": s.handleEvents,
+		"GET /v1/provenance":            s.handleProvenance,
 		"POST /v1/drain":                s.handleDrain,
 		"GET /metrics":                  s.handleMetrics,
 		"GET /healthz":                  s.handleHealth,
@@ -160,6 +164,57 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+}
+
+// ProvenanceResponse is the JSON body of GET /v1/provenance without a query:
+// a summary of the merged trace.
+type ProvenanceResponse struct {
+	// Events counts merged provenance events across all admitted runs.
+	Events int `json:"events"`
+	// MemoHits counts task completions spliced from the memo table.
+	MemoHits int `json:"memoHits"`
+}
+
+// handleProvenance merges every admitted run's provenance buffer (the same
+// deterministic shard merge FlushProvenance uses) and either summarizes it
+// or, with ?q=, runs a provenance query — "lineage <path>",
+// "diff <runA> <runB>", or "memo-hits [run]" — and returns the rendered
+// text. Buffered events of still-running workflows may lag a flush interval.
+func (s *Server) handleProvenance(w http.ResponseWriter, req *http.Request) {
+	dst := provenance.NewMemStore()
+	if _, err := s.FlushProvenance(dst); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	qs := req.URL.Query().Get("q")
+	if qs == "" {
+		evs, err := dst.Events()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+			return
+		}
+		resp := ProvenanceResponse{Events: len(evs)}
+		for _, ev := range evs {
+			if ev.MemoHit {
+				resp.MemoHits++
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	q, err := provenance.ParseQuery(qs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	out, err := provenance.RunQuery(dst, q)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, out)
 }
 
 // DrainResponse is the JSON body of POST /v1/drain.

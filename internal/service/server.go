@@ -13,6 +13,7 @@ import (
 
 	"hiway/internal/cluster"
 	"hiway/internal/core"
+	"hiway/internal/memo"
 	"hiway/internal/obs"
 	"hiway/internal/provenance"
 	"hiway/internal/recipes"
@@ -69,6 +70,12 @@ type ServerConfig struct {
 	// handlers over an in-process transport. A deterministic server must
 	// not serve real network traffic.
 	Deterministic bool
+	// Memo shares one cluster-wide memo table across every run the server
+	// admits: repeated submissions of the same pipeline — any tenant, unless
+	// its profile sets MemoOptOut — splice completed tasks from the table
+	// instead of re-executing them. The table's hiway_memo_* metric family
+	// lands on the server registry.
+	Memo bool
 	// Hook, if set, observes the server lifecycle. Hooks run outside the
 	// server's internal lock and may block (the race e2e uses a blocking
 	// OnAdmitted to pin 100 runs in flight at once); they must not call
@@ -225,6 +232,7 @@ type Server struct {
 	policies map[string]yarn.TenantPolicy
 
 	obs   *obs.Obs
+	memo  *memo.Table // nil unless cfg.Memo
 	start time.Time
 	vnow  float64 // virtual clock (deterministic mode only)
 
@@ -283,6 +291,15 @@ func NewServer(cfg ServerConfig, profiles []TenantProfile) (*Server, error) {
 		s.tenants[profiles[i].Name] = &profiles[i]
 	}
 	s.obs = obs.New(s.now)
+	if cfg.Memo {
+		s.memo = memo.New(0)
+		for _, p := range profiles {
+			if p.MemoOptOut {
+				s.memo.SetOptOut(p.Name)
+			}
+		}
+		s.memo.SetObs(s.obs)
+	}
 	m := s.obs.M()
 	s.submittedC = m.Counter("hiway_serve_submissions_total", "workflow submission requests received")
 	s.acceptedC = m.Counter("hiway_serve_accepted_total", "submissions accepted into the queue")
@@ -561,14 +578,27 @@ func (s *Server) runWorkflow(r *Run) (*core.Report, error) {
 	if policy == "" {
 		policy = s.cfg.Policy
 	}
-	sched, err := scheduler.New(policy, scheduler.Deps{Locality: env.FS, Estimator: env.Prov})
+	deps := scheduler.Deps{Locality: env.FS, Estimator: env.Prov}
+	if s.memo != nil {
+		deps.Predictor = s.memo
+	}
+	sched, err := scheduler.New(policy, deps)
 	if err != nil {
 		return nil, err
+	}
+	memoPrefix := ""
+	if r.req.Workload != nil {
+		// Workload runs are rebased under a run-private root; stripping it
+		// lets identical specs hit across runs and tenants. Source
+		// submissions keep their payload-chosen paths verbatim.
+		memoPrefix = fmt.Sprintf("/svc/%s/%s", r.Tenant, r.Name)
 	}
 	am, err := core.Launch(env, r.driver, sched, core.Config{
 		WorkflowID: r.ID,
 		Tenant:     r.Tenant,
 		MaxRetries: s.cfg.MaxTaskRetries,
+		Memo:       s.memo,
+		MemoPrefix: memoPrefix,
 		Audit:      &runAudit{s: s, r: r},
 	})
 	if err != nil {

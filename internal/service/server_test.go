@@ -593,3 +593,79 @@ func TestServerFlushProvenanceMergesAllRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestServerSharedMemoAcrossTenants(t *testing.T) {
+	s, err := NewServer(ServerConfig{Nodes: 4, Memo: true}, serveProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	finish := func(id string) RunStatus {
+		t.Helper()
+		run := s.Lookup(id)
+		if run == nil {
+			t.Fatalf("run %s not registered", id)
+		}
+		select {
+		case <-run.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("run %s did not finish", id)
+		}
+		var st RunStatus
+		if err := json.Unmarshal(get(t, h, "/v1/workflows/"+id).Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateSucceeded {
+			t.Fatalf("run %s: state %q, error %q", id, st.State, st.Error)
+		}
+		return st
+	}
+
+	// Same workload spec, two tenants: the second run splices every task
+	// from the first run's table entries and finishes in zero virtual time.
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("alpha", "w000")); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", rec.Code, rec.Body.String())
+	}
+	cold := finish("alpha-w000")
+	if cold.MakespanSec <= 0 {
+		t.Fatalf("cold run makespan %v", cold.MakespanSec)
+	}
+	if rec := postJSON(t, h, "/v1/workflows", workloadSubmission("beta", "w000")); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", rec.Code, rec.Body.String())
+	}
+	warm := finish("beta-w000")
+	if warm.MakespanSec != 0 {
+		t.Fatalf("warm cross-tenant run executed: makespan %v", warm.MakespanSec)
+	}
+	if len(warm.CompletedTasks) != len(cold.CompletedTasks) {
+		t.Fatalf("task multisets diverged: %v vs %v", warm.CompletedTasks, cold.CompletedTasks)
+	}
+
+	// The provenance endpoint summarizes and queries the merged trace.
+	var pr ProvenanceResponse
+	if err := json.Unmarshal(get(t, h, "/v1/provenance").Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Events == 0 || pr.MemoHits != len(warm.CompletedTasks) {
+		t.Fatalf("provenance summary: %+v", pr)
+	}
+	hits := get(t, h, "/v1/provenance?q=memo-hits")
+	if hits.Code != http.StatusOK {
+		t.Fatalf("memo-hits query: %d (%s)", hits.Code, hits.Body.String())
+	}
+	body := hits.Body.String()
+	if !strings.Contains(body, "beta-w000") || !strings.Contains(body, "alpha-w000") {
+		t.Fatalf("memo-hits attribution missing: %q", body)
+	}
+	if rec := get(t, h, "/v1/provenance?q=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus query: %d", rec.Code)
+	}
+
+	// The table's metric family lands on the server registry.
+	metrics := get(t, h, "/metrics").Body.String()
+	if !strings.Contains(metrics, "hiway_memo_hits_total") {
+		t.Fatal("hiway_memo_* metrics missing from /metrics")
+	}
+	waitDrained(t, s)
+}

@@ -7,6 +7,7 @@ import (
 
 	"hiway/internal/chaos"
 	"hiway/internal/core"
+	"hiway/internal/memo"
 	"hiway/internal/obs"
 	"hiway/internal/scheduler"
 	"hiway/internal/sim"
@@ -38,6 +39,9 @@ type TenantProfile struct {
 	// rejected with 429 and a retry-after hint. 0 means no cap. The
 	// seeded-arrival Service ignores it (its backpressure is global).
 	MaxInFlight int
+	// MemoOptOut excludes this tenant from cross-tenant memoization: its
+	// workflows neither consume memo entries nor contribute any.
+	MemoOptOut bool
 }
 
 // validateProfiles checks and normalizes a tenant profile list in place:
@@ -110,6 +114,11 @@ type Config struct {
 	MaxTaskRetries int
 	// Chaos, if set, injects task-level faults into every workflow.
 	Chaos chaos.Injector
+	// Memo, if set, is the cluster-wide memo table shared by every admitted
+	// workflow: repeated submissions of the same pipeline splice completed
+	// tasks from it instead of re-executing (per-tenant opt-out via
+	// TenantProfile.MemoOptOut). Nil disables memoization.
+	Memo *memo.Table
 	// Hook, if set, observes the service lifecycle (the verify layer's
 	// admission-order auditor installs itself here).
 	Hook Hook
@@ -169,6 +178,7 @@ type Account struct {
 	E2ESec       float64 // EndAt - SubmitAt
 
 	Tasks      int
+	Memoized   int  // tasks spliced from the memo table instead of executed
 	Rejections int  // rejected submission attempts
 	Admitted   bool // reached an AM launch
 	Succeeded  bool
@@ -222,6 +232,14 @@ func New(eng *sim.Engine, env core.Env, cfg Config, profiles []TenantProfile) (*
 	}
 	s := &Service{eng: eng, env: env, cfg: cfg, profiles: profiles,
 		gate: newFifoGate[*pendingWF](cfg.MaxConcurrent, cfg.MaxQueue)}
+	if cfg.Memo != nil {
+		for _, p := range profiles {
+			if p.MemoOptOut {
+				cfg.Memo.SetOptOut(p.Name)
+			}
+		}
+		cfg.Memo.SetObs(env.Obs)
+	}
 	s.tr = env.Obs.T()
 	m := env.Obs.M()
 	s.submittedC = make(map[string]*obs.Counter, len(profiles))
@@ -375,7 +393,11 @@ func (s *Service) admit(w *pendingWF) error {
 	if err := workloads.Stage(s.env.FS, inputs); err != nil {
 		return err
 	}
-	sched, err := scheduler.New(s.cfg.Policy, scheduler.Deps{Locality: s.env.FS, Estimator: s.env.Prov})
+	deps := scheduler.Deps{Locality: s.env.FS, Estimator: s.env.Prov}
+	if s.cfg.Memo != nil {
+		deps.Predictor = s.cfg.Memo
+	}
+	sched, err := scheduler.New(s.cfg.Policy, deps)
 	if err != nil {
 		return err
 	}
@@ -395,6 +417,8 @@ func (s *Service) admit(w *pendingWF) error {
 		AMNode:     s.cfg.AMNode,
 		MaxRetries: s.cfg.MaxTaskRetries,
 		Chaos:      s.cfg.Chaos,
+		Memo:       s.cfg.Memo,
+		MemoPrefix: fmt.Sprintf("/svc/%s/w%03d", w.profile.Name, w.seq),
 		OnTerminal: func(rep *core.Report) { s.onTerminal(w, rep) },
 	}
 	if _, err := core.Launch(s.env, driver, sched, cfg); err != nil {
@@ -407,6 +431,7 @@ func (s *Service) admit(w *pendingWF) error {
 // report, then re-pumps the queue.
 func (s *Service) onTerminal(w *pendingWF, rep *core.Report) {
 	s.gate.Finish()
+	w.acct.Memoized = rep.Memoized
 	var err error
 	if rep.Err != nil {
 		err = rep.Err

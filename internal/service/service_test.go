@@ -7,6 +7,7 @@ import (
 	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/core"
+	"hiway/internal/memo"
 	"hiway/internal/recipes"
 	"hiway/internal/sim"
 	"hiway/internal/yarn"
@@ -244,5 +245,69 @@ func TestQuantile(t *testing.T) {
 	}
 	if got := []float64{4, 1, 3, 2}; !reflect.DeepEqual(xs, got) {
 		t.Fatal("quantile mutated its input")
+	}
+}
+
+// TestServiceCrossTenantMemoization pins the service-tier sharing premise:
+// both tenants submit the same pipeline shape under run-private roots, so
+// after the first execution the shared table serves every later admission —
+// across tenant boundaries — and the roll-up attributes the splices.
+func TestServiceCrossTenantMemoization(t *testing.T) {
+	base := Config{Seed: 42, DurationSec: 400, MaxConcurrent: 3, MaxQueue: 8}
+	_, stOff := runOnce(t, base, twoTenants())
+
+	on := base
+	on.Memo = memo.New(0)
+	accounts, stOn := runOnce(t, on, twoTenants())
+
+	// Arrivals are seed-driven and independent of execution speed.
+	if stOn.Submitted != stOff.Submitted {
+		t.Fatalf("memo changed arrivals: %d vs %d", stOn.Submitted, stOff.Submitted)
+	}
+	if stOn.Succeeded < stOff.Succeeded {
+		t.Fatalf("memo lost completions: %d vs %d", stOn.Succeeded, stOff.Succeeded)
+	}
+	if stOn.MemoizedTasks == 0 || stOn.MemoHits == 0 || stOn.MemoCPUSavedSec <= 0 {
+		t.Fatalf("no memoized work recorded: %+v", stOn)
+	}
+	if stOff.MemoizedTasks != 0 || stOff.MemoHits != 0 {
+		t.Fatalf("memo-off run recorded memo work: %+v", stOff)
+	}
+	perTenant := 0
+	for _, ts := range stOn.Tenants {
+		perTenant += ts.MemoizedTasks
+	}
+	if perTenant != stOn.MemoizedTasks {
+		t.Fatalf("tenant attribution %d != total %d", perTenant, stOn.MemoizedTasks)
+	}
+	// The first admitted workflow runs cold; at least one later one splices
+	// its full task set.
+	full := false
+	for _, a := range accounts {
+		if a.Admitted && a.Memoized == a.Tasks && a.Tasks > 0 {
+			full = true
+		}
+	}
+	if !full {
+		t.Fatal("no workflow was fully served from the memo table")
+	}
+	if tenants := len(stOn.Tenants); tenants != 2 {
+		t.Fatalf("tenants: %d", tenants)
+	}
+}
+
+// TestServiceMemoOptOut pins the per-tenant escape hatch end to end: the
+// opted-out tenant's workflows always execute, while the other tenant still
+// benefits from the shared table.
+func TestServiceMemoOptOut(t *testing.T) {
+	profiles := twoTenants()
+	profiles[1].MemoOptOut = true
+	cfg := Config{Seed: 42, DurationSec: 400, MaxConcurrent: 3, MaxQueue: 8, Memo: memo.New(0)}
+	_, st := runOnce(t, cfg, profiles)
+	if st.Tenants["labs"].MemoizedTasks != 0 {
+		t.Fatalf("opted-out tenant memoized %d tasks", st.Tenants["labs"].MemoizedTasks)
+	}
+	if st.Tenants["acme"].MemoizedTasks == 0 {
+		t.Fatal("participating tenant never hit the shared table")
 	}
 }

@@ -14,6 +14,10 @@ type TenantStats struct {
 	Rejections int // rejected submission attempts
 	Dropped    int // never ran: rejections exhausted the retry budget
 
+	// MemoizedTasks counts tasks the tenant's workflows spliced from the
+	// cluster memo table instead of executing.
+	MemoizedTasks int
+
 	QueueWaitP50Sec float64
 	QueueWaitP99Sec float64
 	E2EP99Sec       float64
@@ -59,6 +63,14 @@ type Stats struct {
 	SpotNodeSec     float64
 	CostUnits       float64
 
+	// Memoization outcomes when a memo table was configured: tasks spliced
+	// across all tenants, the table's lookup/hit counters, and the
+	// cpu-seconds the splices avoided executing.
+	MemoizedTasks   int
+	MemoLookups     int64
+	MemoHits        int64
+	MemoCPUSavedSec float64
+
 	Tenants map[string]*TenantStats
 }
 
@@ -90,6 +102,8 @@ func (s *Service) Stats() *Stats {
 			ts.Dropped++
 			continue
 		}
+		st.MemoizedTasks += a.Memoized
+		ts.MemoizedTasks += a.Memoized
 		if a.Admitted {
 			st.Admitted++
 			ts.Admitted++
@@ -126,6 +140,12 @@ func (s *Service) Stats() *Stats {
 		ts.QueueWaitP50Sec = quantile(perWait[name], 0.50)
 		ts.QueueWaitP99Sec = quantile(perWait[name], 0.99)
 		ts.E2EP99Sec = quantile(perE2E[name], 0.99)
+	}
+	if s.cfg.Memo != nil {
+		ms := s.cfg.Memo.Stats()
+		st.MemoLookups = ms.Lookups
+		st.MemoHits = ms.Hits
+		st.MemoCPUSavedSec = ms.CPUSavedSec
 	}
 	cost := s.env.RM.CostReport()
 	st.OnDemandNodeSec = cost.OnDemandNodeSec

@@ -9,6 +9,7 @@ import (
 	"hiway/internal/chaos"
 	"hiway/internal/cluster"
 	"hiway/internal/core"
+	"hiway/internal/memo"
 	"hiway/internal/scheduler"
 	"hiway/internal/sim"
 	"hiway/internal/wf"
@@ -63,8 +64,10 @@ type PolicyRun struct {
 	Completed   map[string]int `json:"-"` // structural task key → completions
 	Outputs     []string       `json:"outputs,omitempty"`
 	Violations  []Violation    `json:"violations,omitempty"`
-	Recovered   int            `json:"recovered,omitempty"` // resume variant only
-	Executed    int            `json:"executed"`            // tasks run to completion
+	Recovered   int            `json:"recovered,omitempty"`  // resume variant only
+	Executed    int            `json:"executed"`             // tasks run to completion
+	Memoized    int            `json:"memoized,omitempty"`   // tasks spliced from the memo table
+	Containers  int64          `json:"containers,omitempty"` // worker containers allocated
 
 	// Canonical and CanonOutputs are the path-independent outcome of a
 	// portability run (Lang != ""): the canonical lineage multiset and the
@@ -83,6 +86,8 @@ func (run *PolicyRun) capture(rep *core.Report, aud *Auditor) {
 	}
 	run.MakespanSec = rep.MakespanSec
 	run.Executed = len(rep.Results)
+	run.Memoized = rep.Memoized
+	run.Containers = rep.Containers
 	for _, res := range rep.Results {
 		if res.Succeeded() {
 			run.Completed[structuralKey(res.Task.Name, res.Task.Inputs, res.Task.DeclaredPaths())]++
@@ -133,9 +138,10 @@ func (s *Scenario) expectedCompletions() map[string]int {
 
 // buildRun wires one fresh execution environment for the scenario: chaos
 // plan (parsed and armed anew — plans carry mutable rule counters), auditor
-// hooked into RM and AM, scheduler, and AM config. It returns everything
-// the caller needs to launch.
-func (s *Scenario) buildRun(policy string, tamper func(core.Env)) (*runCtx, error) {
+// hooked into RM and AM, scheduler, and AM config. A non-nil tab enables
+// memoization against that table. It returns everything the caller needs to
+// launch.
+func (s *Scenario) buildRun(policy string, tamper func(core.Env), tab *memo.Table) (*runCtx, error) {
 	eng, env, err := s.Materialize()
 	if err != nil {
 		return nil, fmt.Errorf("materialize: %w", err)
@@ -157,6 +163,7 @@ func (s *Scenario) buildRun(policy string, tamper func(core.Env)) (*runCtx, erro
 		TaskTimeoutFloorSec: s.TimeoutFloorSec,
 		Speculate:           s.Speculate,
 		Audit:               aud,
+		Memo:                tab,
 	}
 	var health *scheduler.NodeHealthTracker
 	if s.Chaos != "" {
@@ -208,7 +215,7 @@ func runPolicy(sc *Scenario, policy string, tamper func(core.Env)) PolicyRun {
 // canonical comparison).
 func runPolicyDriver(sc *Scenario, policy string, tamper func(core.Env), driver func() wf.Driver, language string) PolicyRun {
 	run := PolicyRun{Policy: policy, Lang: language, Completed: map[string]int{}}
-	ctx, err := sc.buildRun(policy, tamper)
+	ctx, err := sc.buildRun(policy, tamper, nil)
 	if err != nil {
 		run.Err = err.Error()
 		return run
@@ -244,7 +251,7 @@ func runResume(sc *Scenario, baseline, frac float64, tamper func(core.Env)) Poli
 func runResumeDriver(sc *Scenario, baseline, frac float64, tamper func(core.Env), driver func() wf.Driver, language string) PolicyRun {
 	const policy = scheduler.PolicyFCFS
 	run := PolicyRun{Policy: "resume", Lang: language, Completed: map[string]int{}}
-	ctx, err := sc.buildRun(policy, tamper)
+	ctx, err := sc.buildRun(policy, tamper, nil)
 	if err != nil {
 		run.Err = err.Error()
 		return run
@@ -424,6 +431,12 @@ func CheckScenario(sc *Scenario, opts Options) *Result {
 
 	if sc.Portability {
 		runs, fails := runPortability(sc, opts)
+		res.Runs = append(res.Runs, runs...)
+		res.Failures = append(res.Failures, fails...)
+	}
+
+	if sc.Memo && baseline != nil {
+		runs, fails := runMemoFamily(sc, baseline, opts)
 		res.Runs = append(res.Runs, runs...)
 		res.Failures = append(res.Failures, fails...)
 	}

@@ -89,6 +89,14 @@ type Scenario struct {
 	// kill/resume, and requires every run's canonical lineage outcome to
 	// equal the spec-derived expectation (see portability.go).
 	Portability bool `json:"portability,omitempty"`
+
+	// Memo, when set, additionally runs the memoization family (memo.go): a
+	// cold-table run that must equal the memo-off baseline with zero hits, a
+	// warm-table run on a fresh substrate that must splice every task
+	// without allocating a single worker container, and a kill/resume run
+	// with memoization on — all required to reproduce the baseline's
+	// completed multiset and outputs.
+	Memo bool `json:"memo,omitempty"`
 }
 
 // Iterative reports whether the scenario unfolds at run time, which static
@@ -274,7 +282,15 @@ func Generate(seed int64) *Scenario {
 	sc.genService(r)
 	sc.genElastic(r)
 	sc.genPortability(r)
+	sc.genMemo(r)
 	return sc
+}
+
+// genMemo opts about a quarter of all scenarios into the memoization
+// family. It draws after every other family so adding it did not perturb
+// existing seeds.
+func (s *Scenario) genMemo(r *rand.Rand) {
+	s.Memo = r.Intn(4) == 0
 }
 
 // genPortability opts about a quarter of all scenarios into the

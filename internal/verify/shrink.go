@@ -14,7 +14,8 @@ type ShrinkReport struct {
 
 // Shrink minimizes a failing scenario while preserving the failure:
 //
-//  1. drop the iteration chain if the base graph alone still fails, then
+//  1. drop the memoization family if the memo-off matrix alone still fails,
+//     then the iteration chain if the base graph alone still fails, then
 //     the service tier, then the elastic membership plan,
 //  2. binary-search the shortest failing task prefix — tasks are stored in
 //     topological order with producers before consumers, so every prefix is
@@ -38,6 +39,17 @@ func Shrink(sc *Scenario, opts Options) ShrinkReport {
 	last := fails(cur)
 	if len(last) == 0 {
 		return ShrinkReport{Scenario: cur, Probes: probes}
+	}
+
+	// 0. Memo family gone? The memo runs triple the execution count, so the
+	// reproducer sheds them first; if only a memo run diverges, the flag
+	// survives and the case stays a cold/warm/resume triple.
+	if cur.Memo {
+		cand := cur.Clone()
+		cand.Memo = false
+		if f := fails(cand); len(f) > 0 {
+			cur, last = cand, f
+		}
 	}
 
 	// 1. Iterations gone?

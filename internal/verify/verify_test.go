@@ -95,7 +95,7 @@ func TestIterativeScenarioSkipsStaticPolicies(t *testing.T) {
 		if staticPolicies[run.Policy] {
 			t.Fatalf("static policy %s ran an iterative scenario", run.Policy)
 		}
-		if run.Policy != "resume" && run.Policy != "service" && run.Executed != sc.TotalTasks() {
+		if run.Policy != "resume" && run.Policy != "memo-resume" && run.Policy != "service" && run.Executed != sc.TotalTasks() {
 			t.Fatalf("policy %s executed %d tasks, want %d", run.Policy, run.Executed, sc.TotalTasks())
 		}
 	}
